@@ -1,0 +1,73 @@
+//! Figure 11: distribution of topology frequency for entity-set pairs
+//! PD, DU, PI, PU — "approximately Zipfian for all entity set pairs".
+//!
+//! Prints rank vs frequency per pair plus a log-log slope estimate; a
+//! clearly negative slope with a heavy head is the reproduction target.
+
+use ts_bench::{build_env, espair_name, header, EnvOptions};
+use ts_core::EsPair;
+
+fn main() {
+    let env = build_env(EnvOptions::default());
+    header("Figure 11 — topology frequency distribution (rank vs freq)");
+
+    let ids = &env.biozon.ids;
+    let pairs = [
+        ("PD", EsPair::new(ids.protein, ids.dna)),
+        ("DU", EsPair::new(ids.dna, ids.unigene)),
+        ("PI", EsPair::new(ids.protein, ids.interaction)),
+        ("PU", EsPair::new(ids.protein, ids.unigene)),
+    ];
+
+    println!("{:<6} {:<22} {:>8} {:>10} {:>10} {:>12}", "pair", "espair", "topos", "freq[0]", "freq[9]", "zipf slope");
+    for (label, espair) in pairs {
+        let dist = env.catalog.freq_distribution(espair);
+        if dist.is_empty() {
+            println!("{label:<6} {:<22} {:>8}", espair_name(&env, espair), 0);
+            continue;
+        }
+        let slope = loglog_slope(&dist);
+        println!(
+            "{label:<6} {:<22} {:>8} {:>10} {:>10} {:>12.2}",
+            espair_name(&env, espair),
+            dist.len(),
+            dist[0],
+            dist.get(9).copied().unwrap_or(0),
+            slope
+        );
+    }
+
+    println!("\nrank vs frequency series (first 20 ranks):");
+    for (label, espair) in pairs {
+        let dist = env.catalog.freq_distribution(espair);
+        let head: Vec<String> = dist.iter().take(20).map(|f| f.to_string()).collect();
+        println!("  {label}: {}", head.join(" "));
+    }
+
+    // Shape check, stated loudly so regressions are visible in CI logs.
+    let pd = env.catalog.freq_distribution(EsPair::new(ids.protein, ids.dna));
+    let heavy_head = pd.first().copied().unwrap_or(0) >= 10 * pd.get(pd.len() / 2).copied().unwrap_or(1).max(1);
+    println!(
+        "\nZipfian head present (freq[0] >= 10 x median): {}",
+        if heavy_head { "YES (matches paper)" } else { "NO (investigate)" }
+    );
+}
+
+/// Least-squares slope of log(freq) over log(rank).
+fn loglog_slope(dist: &[u64]) -> f64 {
+    let pts: Vec<(f64, f64)> = dist
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(r, &f)| (((r + 1) as f64).ln(), (f as f64).ln()))
+        .collect();
+    let n = pts.len() as f64;
+    if n < 2.0 {
+        return 0.0;
+    }
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx).max(1e-12)
+}

@@ -1,0 +1,78 @@
+//! Table 3: 4-topologies — space overhead and Fast-Top-k-Opt query
+//! performance across the selectivity grid.
+//!
+//! §6.2.3: l = 4 is dominated by weak relationships; the paper reports
+//! comparable query performance to l = 3 but notes the precompute blow-up
+//! (>1 day with weak relationships). We run l = 4 at reduced scale with
+//! the Appendix-B weak policy (the paper's own proposed solution) and
+//! report both builds' statistics.
+
+use ts_bench::{build_env, header, EnvOptions};
+use ts_biozon::{selectivity_predicate, Selectivity};
+use ts_core::{Method, RankScheme, TopologyQuery};
+
+fn main() {
+    header("Table 3 — 4-topology data: space overhead + Fast-Top-k-Opt performance");
+
+    // Naive l=4 at small scale, to expose the weak-relationship cost.
+    let naive = build_env(EnvOptions { l: 4, scale: 0.08, ..EnvOptions::default() });
+    // Weak-pruned l=4 at the working scale.
+    let env = build_env(EnvOptions { l: 4, scale: 0.12, weak_policy: true, ..EnvOptions::default() });
+
+    println!(
+        "\noffline build:  naive l=4 (scale 0.08): {} paths, {} topologies, {:.0} ms",
+        naive.stats.paths, naive.stats.topologies, naive.stats.millis
+    );
+    println!(
+        "                weak-pruned l=4 (scale 0.12): {} paths ({} dropped as weak), {} topologies, {:.0} ms",
+        env.stats.paths, env.stats.weak_paths_dropped, env.stats.topologies, env.stats.millis
+    );
+
+    // Space overhead (right side of Table 3).
+    let mut all = 0usize;
+    let mut left = 0usize;
+    let mut excp = 0usize;
+    for (_, row) in env.catalog.space_report() {
+        all += row.alltops_bytes;
+        left += row.lefttops_bytes;
+        excp += row.excptops_bytes;
+    }
+    println!("\nspace overhead: AllTops {all}B, LeftTops {left}B, ExcpTops {excp}B");
+
+    // Fast-Top-k-Opt grid (left side of Table 3).
+    let ctx = env.ctx();
+    println!(
+        "\nFast-Top-k-Opt (ms): rows = protein selectivity, cols = interaction selectivity"
+    );
+    println!(
+        "{:<14} {:<8} {:>10} {:>10} {:>10}",
+        "protein", "scheme", "selective", "medium", "unselective"
+    );
+    for ps in Selectivity::all() {
+        for scheme in RankScheme::all() {
+            let mut cells = Vec::new();
+            for is in Selectivity::all() {
+                let q = TopologyQuery::new(
+                    env.biozon.ids.protein,
+                    selectivity_predicate(ps),
+                    env.biozon.ids.interaction,
+                    selectivity_predicate(is),
+                    4,
+                )
+                .with_k(10)
+                .with_scheme(scheme);
+                let _ = Method::FastTopKOpt.eval(&ctx, &q);
+                let out = Method::FastTopKOpt.eval(&ctx, &q);
+                cells.push(out.wall_ms);
+            }
+            println!(
+                "{:<14} {:<8} {:>10.2} {:>10.2} {:>10.2}",
+                ps.to_string(),
+                scheme.to_string(),
+                cells[0],
+                cells[1],
+                cells[2]
+            );
+        }
+    }
+}

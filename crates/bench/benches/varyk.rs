@@ -1,0 +1,65 @@
+//! §6.2.4: varying k — "the results are similar, except for a slight
+//! degradation in performance with increasing k".
+
+use ts_bench::{build_env, header, EnvOptions};
+use ts_biozon::{selectivity_predicate, Selectivity};
+use ts_core::{Method, RankScheme, TopologyQuery};
+
+fn main() {
+    let env = build_env(EnvOptions::default());
+    header("Vary-k — top-k methods as k grows (medium x medium, Domain scheme)");
+
+    let ctx = env.ctx();
+    let methods = [
+        Method::FullTopK,
+        Method::FastTopK,
+        Method::FullTopKEt,
+        Method::FastTopKEt,
+        Method::FullTopKOpt,
+        Method::FastTopKOpt,
+    ];
+    let ks = [1usize, 5, 10, 20, 50];
+
+    print!("{:<16}", "method \\ k");
+    for k in ks {
+        print!(" {k:>9}");
+    }
+    println!("   (wall ms)");
+    for method in methods {
+        print!("{:<16}", method.name());
+        for k in ks {
+            let q = TopologyQuery::new(
+                env.biozon.ids.protein,
+                selectivity_predicate(Selectivity::Medium),
+                env.biozon.ids.interaction,
+                selectivity_predicate(Selectivity::Medium),
+                3,
+            )
+            .with_k(k)
+            .with_scheme(RankScheme::Domain);
+            let _ = method.eval(&ctx, &q);
+            let out = method.eval(&ctx, &q);
+            print!(" {:>9.2}", out.wall_ms);
+        }
+        println!();
+    }
+
+    println!("\nwork units (machine-independent):");
+    for method in methods {
+        print!("{:<16}", method.name());
+        for k in ks {
+            let q = TopologyQuery::new(
+                env.biozon.ids.protein,
+                selectivity_predicate(Selectivity::Medium),
+                env.biozon.ids.interaction,
+                selectivity_predicate(Selectivity::Medium),
+                3,
+            )
+            .with_k(k)
+            .with_scheme(RankScheme::Domain);
+            let out = method.eval(&ctx, &q);
+            print!(" {:>9}", out.work);
+        }
+        println!();
+    }
+}

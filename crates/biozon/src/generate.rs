@@ -1,0 +1,387 @@
+//! The generator itself.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ts_storage::{row, ColumnDef, Database, TableSchema, ValueType};
+
+use crate::config::BiozonConfig;
+
+/// Id bases per entity set — ids are globally unique across sets.
+const PROTEIN_BASE: i64 = 1_000_000;
+const DNA_BASE: i64 = 2_000_000;
+const UNIGENE_BASE: i64 = 3_000_000;
+const INTERACTION_BASE: i64 = 4_000_000;
+const FAMILY_BASE: i64 = 5_000_000;
+const STRUCTURE_BASE: i64 = 6_000_000;
+const PATHWAY_BASE: i64 = 7_000_000;
+
+/// Entity-set and relationship-set ids of the generated schema, so that
+/// downstream code never hard-codes positions.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemaIds {
+    /// Protein entity set.
+    pub protein: u16,
+    /// DNA entity set.
+    pub dna: u16,
+    /// Unigene entity set.
+    pub unigene: u16,
+    /// Interaction entity set.
+    pub interaction: u16,
+    /// Family entity set.
+    pub family: u16,
+    /// Structure entity set.
+    pub structure: u16,
+    /// Pathway entity set.
+    pub pathway: u16,
+    /// encodes: Protein–DNA.
+    pub encodes: u16,
+    /// uni_encodes: Unigene–Protein.
+    pub uni_encodes: u16,
+    /// uni_contains: Unigene–DNA.
+    pub uni_contains: u16,
+    /// interacts_p: Protein–Interaction.
+    pub interacts_p: u16,
+    /// interacts_d: DNA–Interaction.
+    pub interacts_d: u16,
+    /// belongs: Protein–Family.
+    pub belongs: u16,
+    /// manifest: Structure–Protein.
+    pub manifest: u16,
+    /// member: Pathway–Protein.
+    pub member: u16,
+}
+
+/// A generated database plus its schema handles.
+#[derive(Debug, Clone)]
+pub struct Biozon {
+    /// The relational database with ER declarations.
+    pub db: Database,
+    /// Schema handles.
+    pub ids: SchemaIds,
+    /// Config it was generated from.
+    pub config: BiozonConfig,
+}
+
+/// Zipf-ish sampler over `0..n`: rank r drawn with weight `1/(r+1)^s`.
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` items with skew `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Sample an index.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty domain");
+        let x = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c < x).min(self.cumulative.len() - 1)
+    }
+}
+
+/// Keyword pool for descriptions. The selectivity keywords are planted
+/// independently so each hits its exact expected rate.
+const FLAVOR: &[&str] = &[
+    "ubiquitin", "kinase", "phosphatase", "receptor", "transcription",
+    "factor", "binding", "membrane", "hypothetical", "conjugating",
+    "carrier", "homolog", "variant", "inducible", "ribosomal",
+];
+
+/// Selectivity keyword planted at ~15%.
+pub const KW_SELECTIVE: &str = "sel15kw";
+/// Selectivity keyword planted at ~50%.
+pub const KW_MEDIUM: &str = "med50kw";
+/// Selectivity keyword planted at ~85%.
+pub const KW_UNSELECTIVE: &str = "uns85kw";
+
+fn description(rng: &mut StdRng, extra: &str) -> String {
+    let mut words: Vec<&str> = Vec::with_capacity(6);
+    let n = rng.gen_range(2..5);
+    for _ in 0..n {
+        words.push(FLAVOR[rng.gen_range(0..FLAVOR.len())]);
+    }
+    if rng.gen_bool(0.15) {
+        words.push(KW_SELECTIVE);
+    }
+    if rng.gen_bool(0.50) {
+        words.push(KW_MEDIUM);
+    }
+    if rng.gen_bool(0.85) {
+        words.push(KW_UNSELECTIVE);
+    }
+    if !extra.is_empty() {
+        words.push(extra);
+    }
+    words.join(" ")
+}
+
+/// Generate a Biozon-shaped database.
+pub fn generate(cfg: &BiozonConfig) -> Biozon {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new();
+
+    let mk_entity = |db: &mut Database, name: &str, extra_cols: Vec<ColumnDef>| {
+        let mut cols = vec![ColumnDef::new("ID", ValueType::Int)];
+        cols.extend(extra_cols);
+        let t = db.create_table(TableSchema::new(name, cols, Some(0))).expect("fresh db");
+        (t, db.declare_entity_set(name, t).expect("fresh db"))
+    };
+
+    let (protein_t, protein) =
+        mk_entity(&mut db, "Protein", vec![ColumnDef::new("desc", ValueType::Str)]);
+    let (dna_t, dna) = mk_entity(
+        &mut db,
+        "DNA",
+        vec![ColumnDef::new("type", ValueType::Str), ColumnDef::new("defs", ValueType::Str)],
+    );
+    let (unigene_t, unigene) =
+        mk_entity(&mut db, "Unigene", vec![ColumnDef::new("desc", ValueType::Str)]);
+    let (interaction_t, interaction) =
+        mk_entity(&mut db, "Interaction", vec![ColumnDef::new("desc", ValueType::Str)]);
+    let (family_t, family) =
+        mk_entity(&mut db, "Family", vec![ColumnDef::new("desc", ValueType::Str)]);
+    let (structure_t, structure) =
+        mk_entity(&mut db, "Structure", vec![ColumnDef::new("desc", ValueType::Str)]);
+    let (pathway_t, pathway) =
+        mk_entity(&mut db, "Pathway", vec![ColumnDef::new("desc", ValueType::Str)]);
+
+    let mk_rel = |db: &mut Database, name: &str, a: usize, acol: &str, b: usize, bcol: &str| {
+        let t = db
+            .create_table(TableSchema::new(
+                name,
+                vec![ColumnDef::new(acol, ValueType::Int), ColumnDef::new(bcol, ValueType::Int)],
+                None,
+            ))
+            .expect("fresh db");
+        (t, db.declare_rel_set(name, t, a, 0, b, 1).expect("fresh db"))
+    };
+
+    let (encodes_t, encodes) = mk_rel(&mut db, "Encodes", protein, "PID", dna, "DID");
+    let (uni_encodes_t, uni_encodes) =
+        mk_rel(&mut db, "Uni_encodes", unigene, "UID", protein, "PID");
+    let (uni_contains_t, uni_contains) =
+        mk_rel(&mut db, "Uni_contains", unigene, "UID", dna, "DID");
+    let (interacts_p_t, interacts_p) =
+        mk_rel(&mut db, "Interacts_P", protein, "PID", interaction, "IID");
+    let (interacts_d_t, interacts_d) =
+        mk_rel(&mut db, "Interacts_D", dna, "DID", interaction, "IID");
+    let (belongs_t, belongs) = mk_rel(&mut db, "Belongs", protein, "PID", family, "FID");
+    let (manifest_t, manifest) =
+        mk_rel(&mut db, "Manifest", structure, "SID", protein, "PID");
+    let (member_t, member) = mk_rel(&mut db, "Member", pathway, "WID", protein, "PID");
+
+    // Entities.
+    for i in 0..cfg.proteins {
+        let d = description(&mut rng, "");
+        db.table_mut(protein_t).insert(row![PROTEIN_BASE + i as i64, d]).expect("unique id");
+    }
+    for i in 0..cfg.dnas {
+        let ty = match rng.gen_range(0..10) {
+            0..=4 => "mRNA",
+            5..=7 => "EST",
+            _ => "genomic",
+        };
+        let d = description(&mut rng, "");
+        db.table_mut(dna_t).insert(row![DNA_BASE + i as i64, ty, d]).expect("unique id");
+    }
+    for (count, base, table) in [
+        (cfg.unigenes, UNIGENE_BASE, unigene_t),
+        (cfg.interactions, INTERACTION_BASE, interaction_t),
+        (cfg.families, FAMILY_BASE, family_t),
+        (cfg.structures, STRUCTURE_BASE, structure_t),
+        (cfg.pathways, PATHWAY_BASE, pathway_t),
+    ] {
+        for i in 0..count {
+            let d = description(&mut rng, "");
+            db.table_mut(table).insert(row![base + i as i64, d]).expect("unique id");
+        }
+    }
+
+    // Relationships with Zipf-skewed endpoints; duplicates collapse in
+    // the data graph, so a few repeats are harmless.
+    let zp = Zipf::new(cfg.proteins, cfg.zipf_skew);
+    let zd = Zipf::new(cfg.dnas, cfg.zipf_skew);
+    let zu = Zipf::new(cfg.unigenes, cfg.zipf_skew);
+    let zi = Zipf::new(cfg.interactions, cfg.zipf_skew);
+    let zf = Zipf::new(cfg.families, cfg.zipf_skew);
+    let zs = Zipf::new(cfg.structures, cfg.zipf_skew);
+    let zw = Zipf::new(cfg.pathways, cfg.zipf_skew);
+
+    let add_edges =
+        |db: &mut Database, table, n: usize, abase: i64, za: &Zipf, bbase: i64, zb: &Zipf, rng: &mut StdRng| {
+            for _ in 0..n {
+                let a = abase + za.sample(rng) as i64;
+                let b = bbase + zb.sample(rng) as i64;
+                db.table_mut(table).insert(row![a, b]).expect("rel schema");
+            }
+        };
+
+    add_edges(&mut db, encodes_t, cfg.encodes, PROTEIN_BASE, &zp, DNA_BASE, &zd, &mut rng);
+    add_edges(&mut db, uni_encodes_t, cfg.uni_encodes, UNIGENE_BASE, &zu, PROTEIN_BASE, &zp, &mut rng);
+    add_edges(&mut db, uni_contains_t, cfg.uni_contains, UNIGENE_BASE, &zu, DNA_BASE, &zd, &mut rng);
+    add_edges(&mut db, interacts_p_t, cfg.interacts_p, PROTEIN_BASE, &zp, INTERACTION_BASE, &zi, &mut rng);
+    add_edges(&mut db, interacts_d_t, cfg.interacts_d, DNA_BASE, &zd, INTERACTION_BASE, &zi, &mut rng);
+    add_edges(&mut db, belongs_t, cfg.belongs, PROTEIN_BASE, &zp, FAMILY_BASE, &zf, &mut rng);
+    add_edges(&mut db, manifest_t, cfg.manifest, STRUCTURE_BASE, &zs, PROTEIN_BASE, &zp, &mut rng);
+    add_edges(&mut db, member_t, cfg.members, PATHWAY_BASE, &zw, PROTEIN_BASE, &zp, &mut rng);
+
+    // Plant Fig. 16 motifs: one DNA encoding two proteins that interact.
+    for m in 0..cfg.fig16_motifs {
+        let d = DNA_BASE + rng.gen_range(0..cfg.dnas) as i64;
+        let p1 = PROTEIN_BASE + rng.gen_range(0..cfg.proteins) as i64;
+        let mut p2 = PROTEIN_BASE + rng.gen_range(0..cfg.proteins) as i64;
+        if p2 == p1 {
+            p2 = PROTEIN_BASE + ((p2 - PROTEIN_BASE + 1) % cfg.proteins as i64);
+        }
+        let i = INTERACTION_BASE + (m % cfg.interactions) as i64;
+        db.table_mut(encodes_t).insert(row![p1, d]).expect("rel schema");
+        db.table_mut(encodes_t).insert(row![p2, d]).expect("rel schema");
+        db.table_mut(interacts_p_t).insert(row![p1, i]).expect("rel schema");
+        db.table_mut(interacts_p_t).insert(row![p2, i]).expect("rel schema");
+    }
+
+    // Indexes on queried attributes and statistics, as in §6.1.
+    db.table_mut(dna_t).create_index(1);
+    db.analyze_all();
+
+    let ids = SchemaIds {
+        protein: protein as u16,
+        dna: dna as u16,
+        unigene: unigene as u16,
+        interaction: interaction as u16,
+        family: family as u16,
+        structure: structure as u16,
+        pathway: pathway as u16,
+        encodes: encodes as u16,
+        uni_encodes: uni_encodes as u16,
+        uni_contains: uni_contains as u16,
+        interacts_p: interacts_p as u16,
+        interacts_d: interacts_d as u16,
+        belongs: belongs as u16,
+        manifest: manifest as u16,
+        member: member as u16,
+    };
+    Biozon { db, ids, config: cfg.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_graph::DataGraph;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = BiozonConfig::small(7);
+        let b1 = generate(&cfg);
+        let b2 = generate(&cfg);
+        for name in ["Protein", "DNA", "Encodes", "Interacts_P"] {
+            let t1 = b1.db.table_by_name(name).unwrap();
+            let t2 = b2.db.table_by_name(name).unwrap();
+            assert_eq!(t1.rows(), t2.rows(), "{name} differs");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let b1 = generate(&BiozonConfig::small(1));
+        let b2 = generate(&BiozonConfig::small(2));
+        let t1 = b1.db.table_by_name("Encodes").unwrap();
+        let t2 = b2.db.table_by_name("Encodes").unwrap();
+        assert_ne!(t1.rows(), t2.rows());
+    }
+
+    #[test]
+    fn data_graph_builds_cleanly() {
+        let b = generate(&BiozonConfig::small(3));
+        let g = DataGraph::from_db(&b.db).expect("no dangling fks");
+        assert!(g.node_count() > 0);
+        assert!(g.edge_count() > 0);
+        assert_eq!(
+            g.nodes_of_type(b.ids.protein).len(),
+            b.config.proteins
+        );
+    }
+
+    #[test]
+    fn ids_do_not_overlap_across_sets() {
+        let b = generate(&BiozonConfig::small(4));
+        let mut all: Vec<i64> = Vec::new();
+        for es in b.db.entity_sets() {
+            let t = b.db.table(es.table);
+            for r in t.rows() {
+                all.push(r.get(0).as_int());
+            }
+        }
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "entity ids must be globally unique");
+    }
+
+    #[test]
+    fn selectivity_keywords_hit_their_rates() {
+        let b = generate(&BiozonConfig::default());
+        let t = b.db.table_by_name("Protein").unwrap();
+        let stats = t.stats().expect("analyzed");
+        let sel = stats.contains_selectivity(1, super::KW_SELECTIVE);
+        let med = stats.contains_selectivity(1, super::KW_MEDIUM);
+        let uns = stats.contains_selectivity(1, super::KW_UNSELECTIVE);
+        assert!((sel - 0.15).abs() < 0.04, "selective rate {sel}");
+        assert!((med - 0.50).abs() < 0.05, "medium rate {med}");
+        assert!((uns - 0.85).abs() < 0.04, "unselective rate {uns}");
+    }
+
+    #[test]
+    fn fig16_motifs_exist() {
+        let b = generate(&BiozonConfig::small(5));
+        let g = DataGraph::from_db(&b.db).unwrap();
+        // At least one pair of proteins shares a DNA (via encodes) and an
+        // interaction.
+        let enc = b.db.table_by_name("Encodes").unwrap();
+        let mut found = false;
+        'outer: for r1 in enc.rows() {
+            for r2 in enc.rows() {
+                let (p1, d1) = (r1.get(0).as_int(), r1.get(1).as_int());
+                let (p2, d2) = (r2.get(0).as_int(), r2.get(1).as_int());
+                if d1 == d2 && p1 < p2 {
+                    // Do p1 and p2 share an interaction?
+                    let n1 = g.node(b.ids.protein, p1).unwrap();
+                    let n2 = g.node(b.ids.protein, p2).unwrap();
+                    let i1: std::collections::HashSet<u32> = g
+                        .neighbors(n1)
+                        .iter()
+                        .filter(|&&(r, _)| r == b.ids.interacts_p)
+                        .map(|&(_, n)| n)
+                        .collect();
+                    if g.neighbors(n2)
+                        .iter()
+                        .any(|&(r, n)| r == b.ids.interacts_p && i1.contains(&n))
+                    {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found, "a planted Fig. 16 motif must exist");
+    }
+
+    #[test]
+    fn zipf_sampler_is_skewed() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..10_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "rank 0 must dominate rank 50");
+    }
+}

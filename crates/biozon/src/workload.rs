@@ -1,0 +1,128 @@
+//! Experiment workloads: the Table-2 selectivity grid, the Biozon domain
+//! scorer, and the Appendix-B weak-relationship policy.
+
+use ts_core::{DomainScorer, WeakPolicy};
+use ts_storage::Predicate;
+
+use crate::generate::{SchemaIds, KW_MEDIUM, KW_SELECTIVE, KW_UNSELECTIVE};
+
+/// The three predicate selectivities of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Selectivity {
+    /// ~15% of rows.
+    Selective,
+    /// ~50% of rows.
+    Medium,
+    /// ~85% of rows.
+    Unselective,
+}
+
+impl Selectivity {
+    /// All three, in the paper's row/column order.
+    pub fn all() -> [Selectivity; 3] {
+        [Selectivity::Selective, Selectivity::Medium, Selectivity::Unselective]
+    }
+
+    /// Nominal fraction.
+    pub fn fraction(self) -> f64 {
+        match self {
+            Selectivity::Selective => 0.15,
+            Selectivity::Medium => 0.50,
+            Selectivity::Unselective => 0.85,
+        }
+    }
+}
+
+impl std::fmt::Display for Selectivity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Selectivity::Selective => "selective",
+            Selectivity::Medium => "medium",
+            Selectivity::Unselective => "unselective",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Keyword-containment predicate of the given selectivity on a `desc`
+/// column (column 1 of Protein / Interaction / Unigene tables).
+pub fn selectivity_predicate(sel: Selectivity) -> Predicate {
+    let kw = match sel {
+        Selectivity::Selective => KW_SELECTIVE,
+        Selectivity::Medium => KW_MEDIUM,
+        Selectivity::Unselective => KW_UNSELECTIVE,
+    };
+    Predicate::contains(1, kw)
+}
+
+/// The pseudo-domain-expert configured for the Biozon schema: interaction
+/// relationships are the biologically interesting edges (Fig. 16).
+pub fn domain_scorer(ids: &SchemaIds) -> DomainScorer {
+    DomainScorer {
+        interesting_rels: vec![ids.interacts_p, ids.interacts_d],
+        ..DomainScorer::default()
+    }
+}
+
+/// Appendix-B weak-relationship policy for l = 4: bans the walks the
+/// paper calls out as connecting "most likely unrelated" entities when
+/// repeated — foremost P-D-P-U-D (§6.2.3), plus the PUPU / DUPU family
+/// extended to DNA endpoints.
+pub fn weak_policy_l4(ids: &SchemaIds) -> WeakPolicy {
+    let (p, d, u) = (ids.protein, ids.dna, ids.unigene);
+    let (e, ue, uc) = (ids.encodes, ids.uni_encodes, ids.uni_contains);
+    let mut w = WeakPolicy::new();
+    // P-D-P-U-D: protein → its DNA → another protein of that DNA → that
+    // protein's unigene → an EST in the cluster.
+    w.ban_walk(&[p, d, p, u, d], &[e, e, ue, uc]);
+    // P-U-P-U-D: homologous-protein hop repeated through unigenes.
+    w.ban_walk(&[p, u, p, u, d], &[ue, ue, ue, uc]);
+    // D-U-P-U-D: two ESTs related only through a shared protein's clusters.
+    w.ban_walk(&[d, u, p, u, d], &[uc, ue, ue, uc]);
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::BiozonConfig;
+    use crate::generate::generate;
+
+    #[test]
+    fn predicates_select_expected_fractions() {
+        let b = generate(&BiozonConfig::default());
+        let t = b.db.table_by_name("Protein").unwrap();
+        for sel in Selectivity::all() {
+            let pred = selectivity_predicate(sel);
+            let got = t.scan(&pred).len() as f64 / t.len() as f64;
+            assert!(
+                (got - sel.fraction()).abs() < 0.06,
+                "{sel}: got {got}, expected ~{}",
+                sel.fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn interaction_predicates_work_too() {
+        let b = generate(&BiozonConfig::default());
+        let t = b.db.table_by_name("Interaction").unwrap();
+        let got = t.scan(&selectivity_predicate(Selectivity::Medium)).len() as f64
+            / t.len() as f64;
+        assert!((got - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn domain_scorer_uses_interactions() {
+        let b = generate(&BiozonConfig::small(1));
+        let s = domain_scorer(&b.ids);
+        assert!(s.interesting_rels.contains(&b.ids.interacts_p));
+    }
+
+    #[test]
+    fn weak_policy_has_three_bans() {
+        let b = generate(&BiozonConfig::small(1));
+        let w = weak_policy_l4(&b.ids);
+        assert_eq!(w.len(), 3);
+    }
+}

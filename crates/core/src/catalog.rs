@@ -1,0 +1,363 @@
+//! The topology catalog: `AllTops`, `TopInfo`, `LeftTops`, `ExcpTops`.
+//!
+//! §3.2 of the paper: "Full-Top creates a AllTops table that stores for
+//! every pair of entities in the database, the l-topologies by which they
+//! are related" plus "an associated TopInfo table (that stores additional
+//! information about topologies)". §4.2 prunes AllTops into `LeftTops`
+//! and the exception table `ExcpTops` (Fig. 13).
+//!
+//! The catalog keeps two synchronized representations:
+//!
+//! * **metadata** — interned topologies ([`TopologyMeta`]: canonical
+//!   code, structure graph, frequency, scores, pruned flag) and compact
+//!   per-pair records (which topologies and which path classes each
+//!   connected pair has — the information pruning needs);
+//! * **materialized relational tables** — real [`ts_storage::Table`]s
+//!   with hash indexes, which the query methods execute against and
+//!   whose byte sizes reproduce Table 1.
+//!
+//! Entity ids must be globally unique across entity sets (the paper:
+//! "assuming that the IDs of different biological objects are not
+//! overlapping"); [`Catalog::finalize`] enforces this.
+
+use std::collections::HashMap;
+
+use ts_graph::{CanonicalCode, LGraph, PathSig};
+use ts_storage::{row, ColumnDef, Table, TableSchema, Value, ValueType};
+
+use crate::query::RankScheme;
+
+/// Identifier of a topology in the catalog.
+pub type TopologyId = u32;
+
+/// A normalized (unordered) pair of entity sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EsPair {
+    /// Smaller entity-set id.
+    pub from: u16,
+    /// Larger entity-set id.
+    pub to: u16,
+}
+
+impl EsPair {
+    /// Normalize `(a, b)` so that `from <= to`.
+    pub fn new(a: u16, b: u16) -> Self {
+        if a <= b {
+            EsPair { from: a, to: b }
+        } else {
+            EsPair { from: b, to: a }
+        }
+    }
+}
+
+/// Everything the catalog knows about one topology.
+#[derive(Debug, Clone)]
+pub struct TopologyMeta {
+    /// Catalog id (also the TID stored in the relational tables).
+    pub id: TopologyId,
+    /// The entity-set pair this topology relates.
+    pub espair: EsPair,
+    /// Representative structure graph.
+    pub graph: LGraph,
+    /// Canonical code (identity).
+    pub code: CanonicalCode,
+    /// Frequency: number of entity pairs related by this topology
+    /// (`freq(es1, es2, T)` in §4.2.1).
+    pub freq: u64,
+    /// If the topology is a single simple path between the pair's entity
+    /// sets, its signature — only such topologies are pruning-eligible
+    /// and online-checkable (§4.3's path sub-queries).
+    pub path_sig: Option<PathSig>,
+    /// True once the pruning module moved this topology out of LeftTops.
+    pub pruned: bool,
+    /// Scores per [`RankScheme`] (Freq, Rare, Domain).
+    pub scores: [f64; 3],
+}
+
+/// Compact per-pair record: the ground truth behind the tables.
+#[derive(Debug, Clone)]
+pub struct PairRecord {
+    /// Entity-set pair (normalized).
+    pub espair: EsPair,
+    /// Entity id of the `espair.from` side.
+    pub e1: i64,
+    /// Entity id of the `espair.to` side.
+    pub e2: i64,
+    /// Topologies relating the pair (`l-Top(e1, e2)`).
+    pub topos: Vec<TopologyId>,
+    /// Interned signatures of the pair's path equivalence classes.
+    pub sigs: Vec<u32>,
+}
+
+/// The topology catalog.
+#[derive(Debug, Clone)]
+pub struct Catalog {
+    /// Path-length limit `l` the catalog was computed at.
+    pub l: usize,
+    metas: Vec<TopologyMeta>,
+    code_index: HashMap<(EsPair, CanonicalCode), TopologyId>,
+    /// Per-pair records, sorted by (espair, e1, e2) after finalize.
+    pub pairs: Vec<PairRecord>,
+    sigs: Vec<PathSig>,
+    sig_index: HashMap<PathSig, u32>,
+    /// Pairs whose Definition-2 product was truncated by guard rails.
+    pub truncated_pairs: u64,
+    /// AllTops(E1, E2, TID) — indexes on E1, E2, TID.
+    pub alltops: Table,
+    /// LeftTops(E1, E2, TID) — AllTops minus pruned topologies.
+    pub lefttops: Table,
+    /// ExcpTops(E1, E2, TID) — exception pairs for pruned topologies.
+    pub excptops: Table,
+    finalized: bool,
+}
+
+fn tops_schema(name: &str) -> TableSchema {
+    TableSchema::new(
+        name,
+        vec![
+            ColumnDef::new("E1", ValueType::Int),
+            ColumnDef::new("E2", ValueType::Int),
+            ColumnDef::new("TID", ValueType::Int),
+        ],
+        None,
+    )
+}
+
+impl Catalog {
+    /// Empty catalog for path limit `l`.
+    pub fn new(l: usize) -> Self {
+        Catalog {
+            l,
+            metas: Vec::new(),
+            code_index: HashMap::new(),
+            pairs: Vec::new(),
+            sigs: Vec::new(),
+            sig_index: HashMap::new(),
+            truncated_pairs: 0,
+            alltops: Table::new(tops_schema("AllTops")),
+            lefttops: Table::new(tops_schema("LeftTops")),
+            excptops: Table::new(tops_schema("ExcpTops")),
+            finalized: false,
+        }
+    }
+
+    /// Intern a path signature, returning its id.
+    pub fn intern_sig(&mut self, sig: PathSig) -> u32 {
+        if let Some(&id) = self.sig_index.get(&sig) {
+            return id;
+        }
+        let id = self.sigs.len() as u32;
+        self.sig_index.insert(sig.clone(), id);
+        self.sigs.push(sig);
+        id
+    }
+
+    /// Signature by id.
+    pub fn sig(&self, id: u32) -> &PathSig {
+        &self.sigs[id as usize]
+    }
+
+    /// Id of an interned signature, if present.
+    pub fn sig_id(&self, sig: &PathSig) -> Option<u32> {
+        self.sig_index.get(sig).copied()
+    }
+
+    /// Number of interned signatures.
+    pub fn sig_count(&self) -> usize {
+        self.sigs.len()
+    }
+
+    /// Intern a topology (espair + canonical code), returning its id.
+    pub fn intern_topology(
+        &mut self,
+        espair: EsPair,
+        graph: LGraph,
+        code: CanonicalCode,
+        path_sig: Option<PathSig>,
+    ) -> TopologyId {
+        if let Some(&id) = self.code_index.get(&(espair, code.clone())) {
+            return id;
+        }
+        let id = self.metas.len() as TopologyId;
+        self.code_index.insert((espair, code.clone()), id);
+        self.metas.push(TopologyMeta {
+            id,
+            espair,
+            graph,
+            code,
+            freq: 0,
+            path_sig,
+            pruned: false,
+            scores: [0.0; 3],
+        });
+        id
+    }
+
+    /// Record a pair.
+    pub fn add_pair(&mut self, rec: PairRecord) {
+        self.pairs.push(rec);
+    }
+
+    /// Finish the build: sort pairs, compute frequencies, materialize the
+    /// AllTops table with its indexes (LeftTops starts as a full copy;
+    /// run [`crate::prune::prune_catalog`] to shrink it).
+    pub fn finalize(&mut self) {
+        assert!(!self.finalized, "finalize called twice");
+        self.finalized = true;
+        self.pairs.sort_by_key(|p| (p.espair, p.e1, p.e2));
+
+        for p in &self.pairs {
+            for &tid in &p.topos {
+                self.metas[tid as usize].freq += 1;
+            }
+        }
+        for p in &self.pairs {
+            for &tid in &p.topos {
+                self.alltops
+                    .insert(row![p.e1, p.e2, tid as i64])
+                    .expect("alltops schema is fixed");
+            }
+        }
+        self.alltops.create_index(0);
+        self.alltops.create_index(1);
+        self.alltops.create_index(2);
+        self.alltops.analyze();
+
+        // LeftTops starts as a full copy (under its own name).
+        let mut lefttops = Table::new(tops_schema("LeftTops"));
+        for r in self.alltops.rows() {
+            lefttops.insert(r.clone()).expect("copy of valid row");
+        }
+        lefttops.create_index(0);
+        lefttops.create_index(1);
+        lefttops.create_index(2);
+        lefttops.analyze();
+        self.lefttops = lefttops;
+        self.excptops.create_index(0);
+        self.excptops.analyze();
+    }
+
+    /// All topology metadata.
+    pub fn metas(&self) -> &[TopologyMeta] {
+        &self.metas
+    }
+
+    /// Mutable access for the pruning and scoring modules.
+    pub(crate) fn metas_mut(&mut self) -> &mut [TopologyMeta] {
+        &mut self.metas
+    }
+
+    /// Metadata of one topology.
+    pub fn meta(&self, tid: TopologyId) -> &TopologyMeta {
+        &self.metas[tid as usize]
+    }
+
+    /// Number of interned topologies.
+    pub fn topology_count(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Topology ids for an entity-set pair, ascending.
+    pub fn topologies_for(&self, espair: EsPair) -> Vec<TopologyId> {
+        self.metas.iter().filter(|m| m.espair == espair).map(|m| m.id).collect()
+    }
+
+    /// Frequency distribution for an entity-set pair, descending — the
+    /// series plotted in Fig. 11.
+    pub fn freq_distribution(&self, espair: EsPair) -> Vec<u64> {
+        let mut f: Vec<u64> = self
+            .metas
+            .iter()
+            .filter(|m| m.espair == espair && m.freq > 0)
+            .map(|m| m.freq)
+            .collect();
+        f.sort_unstable_by(|a, b| b.cmp(a));
+        f
+    }
+
+    /// Topologies of an entity-set pair ranked by a scheme, descending
+    /// score (ties broken by id for determinism) — the TopInfo-by-score
+    /// stream consumed by top-k plans.
+    pub fn ranked(&self, scheme: RankScheme, espair: EsPair) -> Vec<(TopologyId, f64)> {
+        let mut v: Vec<(TopologyId, f64)> = self
+            .metas
+            .iter()
+            .filter(|m| m.espair == espair)
+            .map(|m| (m.id, m.scores[scheme.index()]))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// True if `(e1, e2, tid)` is in the exception table.
+    pub fn excp_contains(&self, e1: i64, e2: i64, tid: TopologyId) -> bool {
+        self.excptops
+            .index_probe(0, &Value::Int(e1))
+            .iter()
+            .any(|&rid| {
+                let r = self.excptops.row(rid);
+                r.get(1).as_int() == e2 && r.get(2).as_int() == tid as i64
+            })
+    }
+
+    /// Per-espair byte sizes of the three tables (Table 1 of the paper).
+    /// Row payload plus index-posting overhead, attributed to the espair
+    /// that owns each row's TID.
+    pub fn space_report(&self) -> Vec<(EsPair, SpaceRow)> {
+        let mut acc: HashMap<EsPair, SpaceRow> = HashMap::new();
+        let per_row = |t: &Table| {
+            if t.is_empty() {
+                0
+            } else {
+                t.heap_size() / t.len()
+            }
+        };
+        #[derive(Clone, Copy)]
+        enum Which {
+            All,
+            Left,
+            Excp,
+        }
+        let parts: [(&Table, Which, usize); 3] = [
+            (&self.alltops, Which::All, per_row(&self.alltops)),
+            (&self.lefttops, Which::Left, per_row(&self.lefttops)),
+            (&self.excptops, Which::Excp, per_row(&self.excptops)),
+        ];
+        for (table, which, bytes) in parts {
+            for r in table.rows() {
+                let tid = r.get(2).as_int() as usize;
+                let espair = self.metas[tid].espair;
+                let slot = acc.entry(espair).or_default();
+                match which {
+                    Which::All => slot.alltops_bytes += bytes,
+                    Which::Left => slot.lefttops_bytes += bytes,
+                    Which::Excp => slot.excptops_bytes += bytes,
+                }
+            }
+        }
+        let mut out: Vec<(EsPair, SpaceRow)> = acc.into_iter().collect();
+        out.sort_by_key(|(p, _)| *p);
+        out
+    }
+}
+
+/// One row of the Table-1 space report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceRow {
+    /// Bytes attributable to this espair in AllTops.
+    pub alltops_bytes: usize,
+    /// Bytes in LeftTops.
+    pub lefttops_bytes: usize,
+    /// Bytes in ExcpTops.
+    pub excptops_bytes: usize,
+}
+
+impl SpaceRow {
+    /// LeftTops+ExcpTops as a fraction of AllTops (the paper's "Ratio").
+    pub fn ratio(&self) -> f64 {
+        if self.alltops_bytes == 0 {
+            return 0.0;
+        }
+        (self.lefttops_bytes + self.excptops_bytes) as f64 / self.alltops_bytes as f64
+    }
+}

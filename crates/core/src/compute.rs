@@ -1,0 +1,369 @@
+//! The Topology Computation module (§4.1): the offline build of the
+//! topology catalog from the base data.
+//!
+//! The paper enumerates all schema paths of length ≤ l between each pair
+//! of entity sets, runs one SQL query per schema path, merges the results
+//! per entity pair, and computes each pair's l-topology. Our equivalent
+//! fuses the per-schema-path queries into one reachability-pruned DFS per
+//! source entity (see `ts-graph::paths`), then applies Definition 2 per
+//! pair and interns the resulting canonical codes.
+//!
+//! The per-source work is embarrassingly parallel; with
+//! [`ComputeOptions::parallel`] the sources of each entity-set pair are
+//! sharded across threads (crossbeam scoped threads), and the shards'
+//! results are merged and interned in deterministic order so parallel
+//! and serial builds produce identical catalogs.
+
+use std::time::Instant;
+
+use ts_graph::{CanonicalCode, DataGraph, LGraph, Path, PathSig, SchemaGraph};
+use ts_storage::Database;
+
+use crate::catalog::{Catalog, EsPair, PairRecord};
+use crate::topology::{pair_topologies, TopOptions};
+use crate::weak::WeakPolicy;
+
+/// Options for the offline computation.
+#[derive(Debug, Clone, Default)]
+pub struct ComputeOptions {
+    /// Path-length limit `l`.
+    pub l: usize,
+    /// Guard rails for the Definition-2 product.
+    pub top_opts: TopOptions,
+    /// Entity-set pairs to compute; `None` = every unordered pair of
+    /// distinct entity sets connected by at least one schema walk.
+    pub es_pairs: Option<Vec<EsPair>>,
+    /// Domain-knowledge weak-relationship pruning (§6.2.3): banned path
+    /// signatures are dropped before topology formation.
+    pub weak_policy: Option<WeakPolicy>,
+    /// Shard source entities across threads.
+    pub parallel: bool,
+}
+
+impl ComputeOptions {
+    /// Defaults at a given `l`.
+    pub fn with_l(l: usize) -> Self {
+        ComputeOptions { l, ..Default::default() }
+    }
+}
+
+/// Statistics of one offline build.
+#[derive(Debug, Clone, Default)]
+pub struct ComputeStats {
+    /// Connected entity pairs found.
+    pub pairs: u64,
+    /// Instance paths enumerated (after weak-policy filtering).
+    pub paths: u64,
+    /// Instance paths dropped by the weak policy.
+    pub weak_paths_dropped: u64,
+    /// Pairs whose representative product hit a guard rail.
+    pub truncated_pairs: u64,
+    /// Distinct topologies interned.
+    pub topologies: usize,
+    /// Wall-clock milliseconds.
+    pub millis: f64,
+}
+
+/// Result of computing one pair, before interning.
+struct LocalPair {
+    e1: i64,
+    e2: i64,
+    unions: Vec<(LGraph, CanonicalCode)>,
+    sigs: Vec<PathSig>,
+    truncated: bool,
+    path_count: u64,
+}
+
+/// Compute the full catalog.
+pub fn compute_catalog(
+    db: &Database,
+    g: &DataGraph,
+    schema: &SchemaGraph,
+    opts: &ComputeOptions,
+) -> (Catalog, ComputeStats) {
+    assert!(opts.l >= 1, "path limit l must be >= 1");
+    let start = Instant::now();
+    let mut catalog = Catalog::new(opts.l);
+    let mut stats = ComputeStats::default();
+
+    let es_pairs = opts.es_pairs.clone().unwrap_or_else(|| default_es_pairs(db, schema, opts.l));
+
+    for espair in es_pairs {
+        let locals = compute_espair(g, schema, espair, opts, &mut stats);
+        intern_locals(&mut catalog, espair, locals, &mut stats);
+    }
+
+    catalog.finalize();
+    catalog.truncated_pairs = stats.truncated_pairs;
+    stats.topologies = catalog.topology_count();
+    stats.millis = start.elapsed().as_secs_f64() * 1e3;
+    (catalog, stats)
+}
+
+/// Every unordered pair of distinct entity sets with a connecting schema
+/// walk of length ≤ l.
+pub fn default_es_pairs(db: &Database, schema: &SchemaGraph, l: usize) -> Vec<EsPair> {
+    let n = db.entity_sets().len() as u16;
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if schema.walk_count(a, b, l) > 0 {
+                out.push(EsPair::new(a, b));
+            }
+        }
+    }
+    out
+}
+
+fn compute_espair(
+    g: &DataGraph,
+    schema: &SchemaGraph,
+    espair: EsPair,
+    opts: &ComputeOptions,
+    stats: &mut ComputeStats,
+) -> Vec<LocalPair> {
+    let sources: Vec<u32> = g.nodes_of_type(espair.from).to_vec();
+    if sources.is_empty() {
+        return Vec::new();
+    }
+    if !opts.parallel || sources.len() < 64 {
+        let (locals, dropped) = run_shard(g, schema, espair, &sources, opts);
+        stats.weak_paths_dropped += dropped;
+        return locals;
+    }
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
+    let chunk = sources.len().div_ceil(threads);
+    let mut results: Vec<(Vec<LocalPair>, u64)> = Vec::new();
+    crossbeam::scope(|s| {
+        let handles: Vec<_> = sources
+            .chunks(chunk)
+            .map(|shard| s.spawn(move |_| run_shard(g, schema, espair, shard, opts)))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("shard thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    let mut locals = Vec::new();
+    for (mut l, dropped) in results {
+        stats.weak_paths_dropped += dropped;
+        locals.append(&mut l);
+    }
+    locals
+}
+
+/// Enumerate and compute the pairs reachable from `sources`.
+fn run_shard(
+    g: &DataGraph,
+    schema: &SchemaGraph,
+    espair: EsPair,
+    sources: &[u32],
+    opts: &ComputeOptions,
+) -> (Vec<LocalPair>, u64) {
+    use std::collections::HashMap;
+    let reach = schema.reach_table(espair.to, opts.l);
+    let mut dropped = 0u64;
+    let mut out = Vec::new();
+    for &a in sources {
+        // Group this source's paths by destination.
+        let mut by_dest: HashMap<u32, Vec<Path>> = HashMap::new();
+        for p in ts_graph::paths_from(g, &reach, a, espair.to, opts.l) {
+            let (_, b) = p.endpoints();
+            if espair.from == espair.to && a > b {
+                continue; // same-type pairs discovered from both ends
+            }
+            if let Some(policy) = &opts.weak_policy {
+                if !policy.allows(g, &p) {
+                    dropped += 1;
+                    continue;
+                }
+            }
+            by_dest.entry(b).or_default().push(p);
+        }
+        let mut dests: Vec<u32> = by_dest.keys().copied().collect();
+        dests.sort_unstable();
+        for b in dests {
+            let paths = &by_dest[&b];
+            let t = pair_topologies(g, paths, opts.top_opts);
+            out.push(LocalPair {
+                e1: g.node_entity(a),
+                e2: g.node_entity(b),
+                unions: t.unions,
+                sigs: t.classes,
+                truncated: t.truncated,
+                path_count: paths.len() as u64,
+            });
+        }
+    }
+    (out, dropped)
+}
+
+/// Intern shard results deterministically.
+fn intern_locals(
+    catalog: &mut Catalog,
+    espair: EsPair,
+    mut locals: Vec<LocalPair>,
+    stats: &mut ComputeStats,
+) {
+    locals.sort_by_key(|p| (p.e1, p.e2));
+    for lp in locals {
+        stats.pairs += 1;
+        stats.paths += lp.path_count;
+        if lp.truncated {
+            stats.truncated_pairs += 1;
+        }
+        let sigs: Vec<u32> = lp.sigs.into_iter().map(|s| catalog.intern_sig(s)).collect();
+        let mut topos = Vec::with_capacity(lp.unions.len());
+        for (graph, code) in lp.unions {
+            let path_sig = path_sig_of_graph(&graph, espair);
+            topos.push(catalog.intern_topology(espair, graph, code, path_sig));
+        }
+        topos.sort_unstable();
+        topos.dedup();
+        catalog.add_pair(PairRecord { espair, e1: lp.e1, e2: lp.e2, topos, sigs });
+    }
+}
+
+/// If `graph` is a single simple path whose two endpoints carry the
+/// espair's entity-set labels, return the path's signature. Such
+/// topologies are eligible for pruning with an online path check.
+pub fn path_sig_of_graph(graph: &LGraph, espair: EsPair) -> Option<PathSig> {
+    let n = graph.node_count();
+    if n < 2 || graph.edge_count() != n - 1 {
+        return None;
+    }
+    let mut ends = Vec::new();
+    for v in 0..n as u8 {
+        match graph.degree(v) {
+            1 => ends.push(v),
+            2 => {}
+            _ => return None,
+        }
+    }
+    if ends.len() != 2 {
+        return None;
+    }
+    let mut end_labels = [graph.labels[ends[0] as usize], graph.labels[ends[1] as usize]];
+    end_labels.sort_unstable();
+    if end_labels != [espair.from.min(espair.to), espair.from.max(espair.to)] {
+        return None;
+    }
+    // Walk the path from one end.
+    let mut types = vec![graph.labels[ends[0] as usize]];
+    let mut rels = Vec::new();
+    let mut prev: Option<u8> = None;
+    let mut cur = ends[0];
+    while types.len() < n {
+        let (rel, next) = graph
+            .neighbors(cur)
+            .into_iter()
+            .find(|&(_, w)| Some(w) != prev)?;
+        rels.push(rel);
+        types.push(graph.labels[next as usize]);
+        prev = Some(cur);
+        cur = next;
+    }
+    Some(crate::weak::sig_from_labels(&types, &rels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_graph::fixtures::{figure3, DNA, PROTEIN, UNIGENE};
+
+    fn build(parallel: bool) -> (Catalog, ComputeStats) {
+        let (db, g, schema) = figure3();
+        let opts = ComputeOptions { l: 3, parallel, ..ComputeOptions::with_l(3) };
+        compute_catalog(&db, &g, &schema, &opts)
+    }
+
+    #[test]
+    fn figure3_catalog_has_paper_topologies() {
+        let (cat, stats) = build(false);
+        // Catalog-wide P-D topologies: T1..T4 of Fig. 5 plus the triangle
+        // of pair (34, 215), which has both a direct encodes edge and a
+        // P-U-D path. (The paper's query result is {T1..T4} because its
+        // 'enzyme' predicate excludes protein 34 — asserted in the
+        // full_top tests.)
+        let pd = EsPair::new(PROTEIN, DNA);
+        let tops = cat.topologies_for(pd);
+        assert_eq!(tops.len(), 5, "expected T1..T4 + (34,215)'s triangle, got {tops:?}");
+        assert!(stats.pairs >= 4);
+        assert_eq!(stats.topologies, cat.topology_count());
+        // Each P-D topology is carried by exactly one pair here.
+        let freqs = cat.freq_distribution(pd);
+        assert_eq!(freqs, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        let (c1, _) = build(false);
+        let (c2, _) = build(true);
+        assert_eq!(c1.topology_count(), c2.topology_count());
+        assert_eq!(c1.pairs.len(), c2.pairs.len());
+        for (a, b) in c1.pairs.iter().zip(c2.pairs.iter()) {
+            assert_eq!((a.espair, a.e1, a.e2), (b.espair, b.e1, b.e2));
+            assert_eq!(a.topos, b.topos);
+        }
+        for (m1, m2) in c1.metas().iter().zip(c2.metas().iter()) {
+            assert_eq!(m1.code, m2.code);
+            assert_eq!(m1.freq, m2.freq);
+        }
+    }
+
+    #[test]
+    fn default_es_pairs_cover_connected_sets() {
+        let (db, _g, schema) = figure3();
+        let pairs = default_es_pairs(&db, &schema, 3);
+        assert_eq!(pairs.len(), 3); // P-U, P-D, U-D
+        assert!(pairs.contains(&EsPair::new(PROTEIN, DNA)));
+    }
+
+    #[test]
+    fn alltops_rows_match_pair_topologies() {
+        let (cat, _) = build(false);
+        let expected: usize = cat.pairs.iter().map(|p| p.topos.len()).sum();
+        assert_eq!(cat.alltops.len(), expected);
+        assert_eq!(cat.lefttops.len(), expected); // nothing pruned yet
+        assert_eq!(cat.excptops.len(), 0);
+    }
+
+    #[test]
+    fn weak_policy_drops_paths_and_changes_catalog() {
+        let (db, g, schema) = figure3();
+        let mut policy = WeakPolicy::new();
+        // Ban P-U-P-D (the length-3 class through a second protein).
+        policy.ban_walk(&[PROTEIN, UNIGENE, PROTEIN, DNA], &[1, 1, 0]);
+        let opts = ComputeOptions {
+            weak_policy: Some(policy),
+            ..ComputeOptions::with_l(3)
+        };
+        let (cat, stats) = compute_catalog(&db, &g, &schema, &opts);
+        assert!(stats.weak_paths_dropped > 0);
+        // Without the P-U-P-D path, pair (78,215) has a single class and
+        // its topology collapses to T2; T3/T4 disappear. The (34,215)
+        // triangle is unaffected.
+        let pd = EsPair::new(PROTEIN, DNA);
+        assert_eq!(cat.topologies_for(pd).len(), 3); // T1, T2, triangle
+    }
+
+    #[test]
+    fn path_sig_of_graph_detects_paths() {
+        let (cat, _) = build(false);
+        let pd = EsPair::new(PROTEIN, DNA);
+        let mut path_shaped = 0;
+        for &tid in &cat.topologies_for(pd) {
+            if cat.meta(tid).path_sig.is_some() {
+                path_shaped += 1;
+            }
+        }
+        // T1 (P-D) and T2 (P-U-D) are paths; T3, T4 are not.
+        assert_eq!(path_shaped, 2);
+    }
+
+    #[test]
+    fn stats_millis_positive() {
+        let (_, stats) = build(false);
+        assert!(stats.millis > 0.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # ts-core
+//!
+//! The paper's primary contribution: **data topologies** and the family
+//! of algorithms that compute them.
+//!
+//! A *topology* (Definition 2) summarizes, at the schema level, the
+//! complete set of ways a pair of entities is related at the instance
+//! level: group the simple paths `PS(a,b,l)` into isomorphism classes
+//! (Definition 1), union one representative per class, and take the
+//! isomorphism class of the union. The *l-topology result* of a 2-query
+//! (Definition 3) is the set of topologies over all pairs of entities
+//! satisfying the query's constraints.
+//!
+//! This crate provides:
+//!
+//! * [`topology`] — Definitions 1–2: path equivalence classes and
+//!   `l-Top(a,b)` with canonical-code deduplication;
+//! * [`compute`] — the offline Topology Computation module (§4.1) that
+//!   builds the `AllTops` catalog from the base data (optionally in
+//!   parallel);
+//! * [`catalog`] — the `AllTops` / `TopInfo` / `LeftTops` / `ExcpTops`
+//!   tables (§3.2, §4.2) materialized as real relational tables plus the
+//!   per-topology metadata;
+//! * [`prune`] — the Topology Pruning module (§4.2): frequency-threshold
+//!   pruning of path-shaped topologies with the exception table;
+//! * [`score`] — the `Freq` / `Rare` / `Domain` ranking schemes (§6.1);
+//! * [`methods`] — all nine evaluation strategies of §6: `SQL`,
+//!   `Full-Top`, `Fast-Top`, `Full-Top-k`, `Fast-Top-k`,
+//!   `Full-Top-k-ET`, `Fast-Top-k-ET`, `Full-Top-k-Opt`,
+//!   `Fast-Top-k-Opt`;
+//! * [`weak`] — Appendix B's weak-relationship patterns and the
+//!   domain-knowledge pruning policy of §6.2.3;
+//! * [`instances`] — instance retrieval for a chosen topology (§6.2.4).
+
+pub mod catalog;
+pub mod compare;
+pub mod compute;
+pub mod instances;
+pub mod methods;
+pub mod prune;
+pub mod query;
+pub mod score;
+pub mod topology;
+pub mod weak;
+
+pub use catalog::{Catalog, EsPair, TopologyId, TopologyMeta};
+pub use compare::{diff, ResultView, TopologyDiff};
+pub use compute::{compute_catalog, ComputeOptions, ComputeStats};
+pub use methods::{EvalOutcome, Method, QueryContext};
+pub use prune::{prune_catalog, PruneOptions, PruneReport};
+pub use query::{RankScheme, TopologyQuery};
+pub use score::{score_catalog, DomainScorer};
+pub use topology::{pair_topologies, PairTopologies, TopOptions};
+pub use weak::WeakPolicy;

@@ -1,0 +1,149 @@
+//! The nine query evaluation strategies of the paper's experiments
+//! (§6.1): `SQL`, `Full-Top`, `Fast-Top`, `Full-Top-k`, `Fast-Top-k`,
+//! `Full-Top-k-ET`, `Fast-Top-k-ET`, `Full-Top-k-Opt`, `Fast-Top-k-Opt`.
+//!
+//! All strategies answer the same question — the (top-k) l-topology
+//! result of a 2-query — on the same substrate, so their outcomes are
+//! directly comparable. [`EvalOutcome`] carries the result set plus two
+//! cost figures: wall-clock milliseconds and the machine-independent
+//! [`ts_exec::Work`] counter.
+
+pub mod common;
+pub mod et;
+pub mod fast_top;
+pub mod full_top;
+pub mod opt;
+pub mod sql_method;
+pub mod topk;
+
+use ts_graph::{DataGraph, SchemaGraph};
+use ts_storage::Database;
+
+use crate::catalog::{Catalog, TopologyId};
+use crate::query::TopologyQuery;
+
+/// Everything a method needs to run.
+pub struct QueryContext<'a> {
+    /// Base data.
+    pub db: &'a Database,
+    /// Data graph over the base data (for online path checks and the SQL
+    /// method's on-the-fly topology computation).
+    pub graph: &'a DataGraph,
+    /// Schema graph.
+    pub schema: &'a SchemaGraph,
+    /// Precomputed topology catalog.
+    pub catalog: &'a Catalog,
+}
+
+/// The strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// §3.1: one query per candidate schema topology, no precomputation.
+    Sql,
+    /// §3.2: single join against the full AllTops table.
+    FullTop,
+    /// §4.3: LeftTops join plus online checks for pruned topologies.
+    FastTop,
+    /// §5.1 over AllTops: full evaluation, sort by score, fetch k.
+    FullTopK,
+    /// §5.1 over LeftTops with score-gated pruned checks.
+    FastTopK,
+    /// §5.3 over AllTops with a DGJ operator stack.
+    FullTopKEt,
+    /// §5.3 over LeftTops with a DGJ stack plus score-gated pruned checks.
+    FastTopKEt,
+    /// §5.4: cost-based choice between Full-Top-k and Full-Top-k-ET.
+    FullTopKOpt,
+    /// §5.4: cost-based choice between Fast-Top-k and Fast-Top-k-ET.
+    FastTopKOpt,
+}
+
+impl Method {
+    /// All nine methods in the paper's Table 2 row order.
+    pub fn all() -> [Method; 9] {
+        [
+            Method::Sql,
+            Method::FullTop,
+            Method::FastTop,
+            Method::FullTopK,
+            Method::FastTopK,
+            Method::FullTopKEt,
+            Method::FastTopKEt,
+            Method::FullTopKOpt,
+            Method::FastTopKOpt,
+        ]
+    }
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Sql => "SQL",
+            Method::FullTop => "Full-Top",
+            Method::FastTop => "Fast-Top",
+            Method::FullTopK => "Full-Top-k",
+            Method::FastTopK => "Fast-Top-k",
+            Method::FullTopKEt => "Full-Top-k-ET",
+            Method::FastTopKEt => "Fast-Top-k-ET",
+            Method::FullTopKOpt => "Full-Top-k-Opt",
+            Method::FastTopKOpt => "Fast-Top-k-Opt",
+        }
+    }
+
+    /// True for the methods that produce ranked top-k output.
+    pub fn is_topk(self) -> bool {
+        !matches!(self, Method::Sql | Method::FullTop | Method::FastTop)
+    }
+
+    /// Evaluate a query with this strategy.
+    pub fn eval(self, ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
+        match self {
+            Method::Sql => sql_method::eval(ctx, q),
+            Method::FullTop => full_top::eval(ctx, q),
+            Method::FastTop => fast_top::eval(ctx, q),
+            Method::FullTopK => topk::eval(ctx, q, topk::Variant::Full),
+            Method::FastTopK => topk::eval(ctx, q, topk::Variant::Fast),
+            Method::FullTopKEt => et::eval(ctx, q, et::Variant::Full, et::EtPlanKind::Idgj),
+            Method::FastTopKEt => et::eval(ctx, q, et::Variant::Fast, et::EtPlanKind::Idgj),
+            Method::FullTopKOpt => opt::eval(ctx, q, opt::Variant::Full),
+            Method::FastTopKOpt => opt::eval(ctx, q, opt::Variant::Fast),
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// The result of evaluating a query with one strategy.
+#[derive(Debug, Clone)]
+pub struct EvalOutcome {
+    /// Which method ran.
+    pub method: Method,
+    /// Result topologies. Ranked methods: `(tid, score)` descending by
+    /// score, at most k. Unranked methods: every result topology with its
+    /// score slot 0.
+    pub topologies: Vec<(TopologyId, f64)>,
+    /// Machine-independent work units (tuples touched + index probes).
+    pub work: u64,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Free-form explain text (plan shape, optimizer choice, ...).
+    pub detail: String,
+}
+
+impl EvalOutcome {
+    /// The topology ids only.
+    pub fn tids(&self) -> Vec<TopologyId> {
+        self.topologies.iter().map(|&(t, _)| t).collect()
+    }
+
+    /// The topology ids as a sorted set (for unordered comparisons).
+    pub fn tid_set(&self) -> Vec<TopologyId> {
+        let mut v = self.tids();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}

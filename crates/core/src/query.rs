@@ -1,0 +1,110 @@
+//! Queries and ranking schemes.
+
+use ts_storage::Predicate;
+
+/// The three topology ranking schemes of §6.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RankScheme {
+    /// Higher score to more frequent topologies (emphasizes common ones).
+    Freq,
+    /// Higher score to rarer topologies.
+    Rare,
+    /// A domain expert's biological-significance ranking (here: the
+    /// deterministic pseudo-expert of [`crate::score::DomainScorer`]).
+    Domain,
+}
+
+impl RankScheme {
+    /// Index into [`crate::catalog::TopologyMeta::scores`].
+    pub fn index(self) -> usize {
+        match self {
+            RankScheme::Freq => 0,
+            RankScheme::Rare => 1,
+            RankScheme::Domain => 2,
+        }
+    }
+
+    /// All schemes, in the paper's column order.
+    pub fn all() -> [RankScheme; 3] {
+        [RankScheme::Freq, RankScheme::Domain, RankScheme::Rare]
+    }
+}
+
+impl std::fmt::Display for RankScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RankScheme::Freq => "Freq",
+            RankScheme::Rare => "Rare",
+            RankScheme::Domain => "Domain",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A 2-query (§2.2): two entity sets with constraints, a path limit, and
+/// top-k parameters for the ranked methods.
+///
+/// Example 2.1 of the paper:
+/// `{ (Protein, desc.ct('enzyme')), (DNA, type='mRNA') }`.
+#[derive(Debug, Clone)]
+pub struct TopologyQuery {
+    /// First entity set.
+    pub es1: u16,
+    /// Constraint on the first entity set.
+    pub con1: Predicate,
+    /// Second entity set.
+    pub es2: u16,
+    /// Constraint on the second entity set.
+    pub con2: Predicate,
+    /// Path-length limit `l` (must match the catalog's).
+    pub l: usize,
+    /// Number of results for top-k methods.
+    pub k: usize,
+    /// Ranking scheme for top-k methods.
+    pub scheme: RankScheme,
+}
+
+impl TopologyQuery {
+    /// Build a query with top-10 / Freq defaults (the paper's experiments
+    /// produce "only the top-10 results").
+    pub fn new(es1: u16, con1: Predicate, es2: u16, con2: Predicate, l: usize) -> Self {
+        TopologyQuery { es1, con1, es2, con2, l, k: 10, scheme: RankScheme::Freq }
+    }
+
+    /// Set k.
+    pub fn with_k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Set the ranking scheme.
+    pub fn with_scheme(mut self, scheme: RankScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_indices_are_distinct() {
+        let idx: Vec<usize> = RankScheme::all().iter().map(|s| s.index()).collect();
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let q = TopologyQuery::new(0, Predicate::True, 2, Predicate::True, 3);
+        assert_eq!(q.k, 10);
+        assert_eq!(q.scheme, RankScheme::Freq);
+        let q = q.with_k(5).with_scheme(RankScheme::Rare);
+        assert_eq!(q.k, 5);
+        assert_eq!(q.scheme, RankScheme::Rare);
+        assert_eq!(format!("{}", q.scheme), "Rare");
+    }
+}

@@ -1,0 +1,230 @@
+//! Definitions 1 and 2: path equivalence classes and `l-Top(a,b)`.
+//!
+//! Given the path set `PS(a,b,l)` of a pair:
+//!
+//! 1. group paths into **equivalence classes** by their label signature
+//!    (for paths, labeled-graph isomorphism is exactly signature
+//!    equality up to reversal — [`ts_graph::PathSig`]);
+//! 2. for every choice of one **representative per class**, union the
+//!    representatives into an instance graph (shared intermediate
+//!    entities become shared nodes — this is what distinguishes T3 from
+//!    T4 in Fig. 5) and take its canonical code;
+//! 3. the set of distinct codes is `l-Top(a,b)`.
+//!
+//! The representative product can explode for pairs connected by weak
+//! relationships (§6.2.3 reports up to 5000 paths per class and >1 day of
+//! precompute at l=4). [`TopOptions`] bounds both the representatives
+//! considered per class and the total product; truncation is *counted and
+//! reported*, never silent.
+
+use std::collections::HashMap;
+
+use ts_graph::{canonical_code, CanonicalCode, DataGraph, InstanceGraphBuilder, LGraph, Path, PathSig};
+
+/// Guard rails for the Definition-2 representative product.
+#[derive(Debug, Clone, Copy)]
+pub struct TopOptions {
+    /// Maximum representatives considered per equivalence class.
+    pub max_reps_per_class: usize,
+    /// Maximum number of representative combinations unioned per pair.
+    pub max_product: usize,
+}
+
+impl Default for TopOptions {
+    fn default() -> Self {
+        TopOptions { max_reps_per_class: 32, max_product: 4096 }
+    }
+}
+
+/// The topologies of one entity pair.
+#[derive(Debug, Clone)]
+pub struct PairTopologies {
+    /// Distinct union graphs with their canonical codes, sorted by code.
+    pub unions: Vec<(LGraph, CanonicalCode)>,
+    /// The pair's path equivalence classes (sorted signatures).
+    pub classes: Vec<PathSig>,
+    /// True if any guard rail truncated the product.
+    pub truncated: bool,
+}
+
+impl PairTopologies {
+    /// Number of path equivalence classes (`s` in Definition 2).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+/// Group paths into equivalence classes by signature (Definition 1).
+///
+/// Returns classes sorted by signature for determinism.
+pub fn path_classes<'p>(
+    g: &DataGraph,
+    paths: &'p [Path],
+) -> Vec<(PathSig, Vec<&'p Path>)> {
+    let mut by_sig: HashMap<PathSig, Vec<&'p Path>> = HashMap::new();
+    for p in paths {
+        by_sig.entry(p.sig(g)).or_default().push(p);
+    }
+    let mut classes: Vec<(PathSig, Vec<&'p Path>)> = by_sig.into_iter().collect();
+    classes.sort_by(|a, b| a.0.cmp(&b.0));
+    classes
+}
+
+/// Compute `l-Top(a,b)` from the pair's path set (Definition 2).
+pub fn pair_topologies(g: &DataGraph, paths: &[Path], opts: TopOptions) -> PairTopologies {
+    let classes = path_classes(g, paths);
+    let sigs: Vec<PathSig> = classes.iter().map(|(s, _)| s.clone()).collect();
+    let mut truncated = false;
+
+    // Representatives per class, capped.
+    let reps: Vec<&[&Path]> = classes
+        .iter()
+        .map(|(_, ps)| {
+            if ps.len() > opts.max_reps_per_class {
+                truncated = true;
+                &ps[..opts.max_reps_per_class]
+            } else {
+                ps.as_slice()
+            }
+        })
+        .collect();
+
+    let mut seen: HashMap<CanonicalCode, LGraph> = HashMap::new();
+    if !reps.is_empty() {
+        // Odometer over the Cartesian product of representatives.
+        let mut idx = vec![0usize; reps.len()];
+        let mut produced = 0usize;
+        'outer: loop {
+            if produced >= opts.max_product {
+                truncated = true;
+                break;
+            }
+            produced += 1;
+
+            let mut b = InstanceGraphBuilder::new();
+            for (c, &class_reps) in reps.iter().enumerate() {
+                let p = class_reps[idx[c]];
+                for i in 0..p.rels.len() {
+                    let (u, v) = (p.nodes[i], p.nodes[i + 1]);
+                    b.edge(u, g.node_type(u), v, g.node_type(v), p.rels[i]);
+                }
+            }
+            let union = b.build();
+            let code = canonical_code(&union);
+            seen.entry(code).or_insert(union);
+
+            // Advance the odometer.
+            let mut c = 0;
+            loop {
+                if c == reps.len() {
+                    break 'outer;
+                }
+                idx[c] += 1;
+                if idx[c] < reps[c].len() {
+                    break;
+                }
+                idx[c] = 0;
+                c += 1;
+            }
+        }
+    }
+
+    let mut unions: Vec<(LGraph, CanonicalCode)> =
+        seen.into_iter().map(|(code, g)| (g, code)).collect();
+    unions.sort_by(|a, b| a.1.cmp(&b.1));
+    PairTopologies { unions, classes: sigs, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_graph::fixtures::{figure3, DNA, PROTEIN};
+    use ts_graph::paths::enumerate_pair_paths;
+
+    #[test]
+    fn l_top_78_215_is_t3_and_t4() {
+        // Paper §2.2: 3-Top(78,215) = { T3, T4 } — two topologies, because
+        // the two representatives of the P-U-D class interact differently
+        // with the P-U-P-D path (u103 shared vs u150 distinct).
+        let (_db, g, schema) = figure3();
+        let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
+        let p78 = g.node(PROTEIN, 78).unwrap();
+        let d215 = g.node(DNA, 215).unwrap();
+        let t = pair_topologies(&g, &pp.map[&(p78, d215)], TopOptions::default());
+        assert_eq!(t.class_count(), 2);
+        assert_eq!(t.unions.len(), 2, "expected T3 and T4");
+        assert!(!t.truncated);
+        // T3 has 4 nodes (shared unigene), T4 has 5.
+        let mut node_counts: Vec<usize> = t.unions.iter().map(|(g, _)| g.node_count()).collect();
+        node_counts.sort_unstable();
+        assert_eq!(node_counts, vec![4, 5]);
+    }
+
+    #[test]
+    fn l_top_44_742_is_t2_only() {
+        // Both paths are isomorphic (one class), so the topology is the
+        // single P-U-D path shape T2 — not the double-path T5.
+        let (_db, g, schema) = figure3();
+        let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
+        let p44 = g.node(PROTEIN, 44).unwrap();
+        let d742 = g.node(DNA, 742).unwrap();
+        let t = pair_topologies(&g, &pp.map[&(p44, d742)], TopOptions::default());
+        assert_eq!(t.class_count(), 1);
+        assert_eq!(t.unions.len(), 1);
+        assert_eq!(t.unions[0].0.node_count(), 3); // P-U-D path
+    }
+
+    #[test]
+    fn l_top_32_214_is_t1() {
+        let (_db, g, schema) = figure3();
+        let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
+        let p32 = g.node(PROTEIN, 32).unwrap();
+        let d214 = g.node(DNA, 214).unwrap();
+        let t = pair_topologies(&g, &pp.map[&(p32, d214)], TopOptions::default());
+        assert_eq!(t.class_count(), 1);
+        assert_eq!(t.unions.len(), 1);
+        assert_eq!(t.unions[0].0.node_count(), 2); // P -encodes- D
+        assert_eq!(t.unions[0].0.edge_count(), 1);
+    }
+
+    #[test]
+    fn empty_paths_empty_topologies() {
+        let (_db, g, _schema) = figure3();
+        let t = pair_topologies(&g, &[], TopOptions::default());
+        assert!(t.unions.is_empty());
+        assert_eq!(t.class_count(), 0);
+        assert!(!t.truncated);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let (_db, g, schema) = figure3();
+        let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
+        let p78 = g.node(PROTEIN, 78).unwrap();
+        let d215 = g.node(DNA, 215).unwrap();
+        let t = pair_topologies(
+            &g,
+            &pp.map[&(p78, d215)],
+            TopOptions { max_reps_per_class: 1, max_product: 1 },
+        );
+        assert!(t.truncated);
+        assert!(t.unions.len() <= 1);
+    }
+
+    #[test]
+    fn classes_sorted_and_deterministic() {
+        let (_db, g, schema) = figure3();
+        let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
+        let p78 = g.node(PROTEIN, 78).unwrap();
+        let d215 = g.node(DNA, 215).unwrap();
+        let t1 = pair_topologies(&g, &pp.map[&(p78, d215)], TopOptions::default());
+        let t2 = pair_topologies(&g, &pp.map[&(p78, d215)], TopOptions::default());
+        assert_eq!(t1.classes, t2.classes);
+        let codes1: Vec<_> = t1.unions.iter().map(|(_, c)| c.clone()).collect();
+        let codes2: Vec<_> = t2.unions.iter().map(|(_, c)| c.clone()).collect();
+        assert_eq!(codes1, codes2);
+        let mut sorted = t1.classes.clone();
+        sorted.sort();
+        assert_eq!(sorted, t1.classes);
+    }
+}

@@ -1,0 +1,413 @@
+//! The Distinct Group Join operator family (§5.3 of the paper).
+//!
+//! DGJ operators satisfy two properties:
+//!
+//! * **(a)** they understand groups of tuples, and preserve the order of
+//!   groups from the input to the output (here: the input stream is
+//!   clustered by a *group column* — topology id in score order — and
+//!   output tuples stay clustered the same way);
+//! * **(b)** they allow efficiently skipping from one group to the next
+//!   via `advance_to_next_group`, "which is in addition to the usual
+//!   getNext method supported by regular operators".
+//!
+//! [`Idgj`] is the (index) nested-loops implementation: order
+//! preservation is free (any NLJ preserves outer order) and group skip
+//! just discontinues the current loop and delegates the skip to its
+//! input. [`Hdgj`] is the hash implementation: it joins one group at a
+//! time, re-evaluating (re-scanning) the inner relation for each group —
+//! the overhead the paper's cost-based optimizer weighs against the
+//! early-termination benefit.
+
+use std::collections::HashMap;
+
+use ts_storage::{Row, Table, Value};
+
+use crate::op::{BoxedOp, Operator, Work};
+
+/// Index nested-loops DGJ.
+///
+/// For each outer tuple, probes `inner`'s index on `inner_col` with the
+/// outer tuple's `outer_col` value and emits `outer ++ inner` rows.
+/// The outer stream must be clustered by `group_col`.
+pub struct Idgj<'a> {
+    outer: BoxedOp<'a>,
+    inner: &'a Table,
+    outer_col: usize,
+    inner_col: usize,
+    group_col: usize,
+    pending: Vec<Row>,
+    /// Lookahead used when the input cannot skip groups itself.
+    lookahead: Option<Row>,
+    /// Group value of the last outer row consumed.
+    current_group: Option<Value>,
+    work: Work,
+}
+
+impl<'a> Idgj<'a> {
+    /// Build an IDGJ over a group-clustered outer stream.
+    pub fn new(
+        outer: BoxedOp<'a>,
+        outer_col: usize,
+        inner: &'a Table,
+        inner_col: usize,
+        group_col: usize,
+        work: Work,
+    ) -> Self {
+        Idgj {
+            outer,
+            inner,
+            outer_col,
+            inner_col,
+            group_col,
+            pending: Vec::new(),
+            lookahead: None,
+            current_group: None,
+            work,
+        }
+    }
+
+    fn probe(&self, key: &Value) -> Vec<Row> {
+        self.work.tick(1);
+        if self.inner.schema().primary_key == Some(self.inner_col) {
+            self.inner.by_pk(key).map(|r| vec![r.clone()]).unwrap_or_default()
+        } else {
+            self.inner
+                .index_probe(self.inner_col, key)
+                .iter()
+                .map(|&rid| self.inner.row(rid).clone())
+                .collect()
+        }
+    }
+
+    fn next_outer(&mut self) -> Option<Row> {
+        if let Some(r) = self.lookahead.take() {
+            return Some(r);
+        }
+        self.outer.next()
+    }
+}
+
+impl Operator for Idgj<'_> {
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            if let Some(r) = self.pending.pop() {
+                return Some(r);
+            }
+            let outer_row = self.next_outer()?;
+            self.work.tick(1);
+            self.current_group = Some(outer_row.get(self.group_col).clone());
+            let matches = self.probe(outer_row.get(self.outer_col));
+            for m in matches.iter().rev() {
+                self.pending.push(outer_row.concat(m));
+            }
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.outer.rewind();
+        self.pending.clear();
+        self.lookahead = None;
+        self.current_group = None;
+    }
+
+    fn grouped(&self) -> bool {
+        true
+    }
+
+    /// Discontinue the current loop and skip the input to its next group
+    /// (the paper: "IDGJ preserves property (b) by simply discontinuing
+    /// the current loop and invoking advanceToNextGroup on its input").
+    fn advance_to_next_group(&mut self) {
+        self.pending.clear();
+        let Some(current) = self.current_group.clone() else {
+            return; // nothing consumed yet: already at a group boundary
+        };
+        if self.outer.grouped() {
+            self.outer.advance_to_next_group();
+        } else {
+            // Fallback: drain until the group column changes, buffering
+            // the first row of the next group.
+            loop {
+                match self.outer.next() {
+                    None => break,
+                    Some(r) => {
+                        self.work.tick(1);
+                        if *r.get(self.group_col) != current {
+                            self.lookahead = Some(r);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.current_group = None;
+    }
+}
+
+/// Hash DGJ: joins one group at a time.
+///
+/// For each group of outer tuples it hashes the group, then re-evaluates
+/// the inner operator from scratch (`rewind` + full scan), probing the
+/// group hash. Matches are emitted in outer order, keeping property (a).
+pub struct Hdgj<'a> {
+    outer: BoxedOp<'a>,
+    inner: BoxedOp<'a>,
+    outer_col: usize,
+    inner_col: usize,
+    group_col: usize,
+    queue: std::collections::VecDeque<Row>,
+    lookahead: Option<Row>,
+    exhausted: bool,
+    work: Work,
+}
+
+impl<'a> Hdgj<'a> {
+    /// Build an HDGJ over a group-clustered outer stream.
+    pub fn new(
+        outer: BoxedOp<'a>,
+        outer_col: usize,
+        inner: BoxedOp<'a>,
+        inner_col: usize,
+        group_col: usize,
+        work: Work,
+    ) -> Self {
+        Hdgj {
+            outer,
+            inner,
+            outer_col,
+            inner_col,
+            group_col,
+            queue: std::collections::VecDeque::new(),
+            lookahead: None,
+            exhausted: false,
+            work,
+        }
+    }
+
+    /// Materialize the next group of outer rows and join it.
+    fn fill_group(&mut self) {
+        while self.queue.is_empty() && !self.exhausted {
+            // Gather one group of outer rows.
+            let first = match self.lookahead.take().or_else(|| self.outer.next()) {
+                Some(r) => r,
+                None => {
+                    self.exhausted = true;
+                    return;
+                }
+            };
+            self.work.tick(1);
+            let group = first.get(self.group_col).clone();
+            let mut group_rows = vec![first];
+            loop {
+                match self.outer.next() {
+                    None => break,
+                    Some(r) => {
+                        self.work.tick(1);
+                        if *r.get(self.group_col) == group {
+                            group_rows.push(r);
+                        } else {
+                            self.lookahead = Some(r);
+                            break;
+                        }
+                    }
+                }
+            }
+            // Hash the group on the join key.
+            let mut hash: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (i, r) in group_rows.iter().enumerate() {
+                hash.entry(r.get(self.outer_col).clone()).or_default().push(i);
+            }
+            // Re-evaluate the inner relation for this group.
+            self.inner.rewind();
+            let mut matches: Vec<(usize, Row)> = Vec::new();
+            while let Some(inner_row) = self.inner.next() {
+                self.work.tick(1);
+                if let Some(idxs) = hash.get(inner_row.get(self.inner_col)) {
+                    for &i in idxs {
+                        matches.push((i, group_rows[i].concat(&inner_row)));
+                    }
+                }
+            }
+            // Emit in outer order within the group.
+            matches.sort_by_key(|&(i, _)| i);
+            self.queue.extend(matches.into_iter().map(|(_, r)| r));
+            // If the group had no matches, loop to the next group.
+        }
+    }
+}
+
+impl Operator for Hdgj<'_> {
+    fn next(&mut self) -> Option<Row> {
+        self.fill_group();
+        self.queue.pop_front()
+    }
+
+    fn rewind(&mut self) {
+        self.outer.rewind();
+        self.inner.rewind();
+        self.queue.clear();
+        self.lookahead = None;
+        self.exhausted = false;
+    }
+
+    fn grouped(&self) -> bool {
+        true
+    }
+
+    fn advance_to_next_group(&mut self) {
+        // The current group is fully materialized in the queue; skipping
+        // is dropping the rest of it. (The inner re-scan for this group
+        // has already been paid — part of HDGJ's cost profile, §5.4.)
+        self.queue.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{collect_all, collect_distinct_topk};
+    use crate::scan::ValuesScan;
+    use ts_storage::{row, ColumnDef, TableSchema, ValueType};
+
+    /// Outer stream: (group, key) clustered by group in score order.
+    fn outer_rows() -> Vec<Row> {
+        vec![
+            row![100i64, 1i64],
+            row![100i64, 2i64],
+            row![100i64, 3i64],
+            row![200i64, 2i64],
+            row![200i64, 9i64],
+            row![300i64, 3i64],
+        ]
+    }
+
+    fn inner_table() -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "Inner",
+            vec![ColumnDef::new("k", ValueType::Int), ColumnDef::new("v", ValueType::Str)],
+            None,
+        ));
+        t.insert(row![2i64, "two"]).unwrap();
+        t.insert(row![3i64, "three"]).unwrap();
+        t.insert(row![3i64, "tres"]).unwrap();
+        t.create_index(0);
+        t
+    }
+
+    fn grouped_outer() -> BoxedOp<'static> {
+        Box::new(ValuesScan::grouped(outer_rows(), 0, Work::new()))
+    }
+
+    #[test]
+    fn idgj_joins_in_group_order() {
+        let t = inner_table();
+        let mut j = Idgj::new(grouped_outer(), 1, &t, 0, 0, Work::new());
+        let got = collect_all(&mut j);
+        // Group 100: keys 1 (no match), 2 -> two, 3 -> three, tres.
+        // Group 200: 2 -> two, 9 none. Group 300: 3 -> three, tres.
+        assert_eq!(got.len(), 6);
+        let groups: Vec<i64> = got.iter().map(|r| r.get(0).as_int()).collect();
+        assert_eq!(groups, vec![100, 100, 100, 200, 300, 300]);
+    }
+
+    #[test]
+    fn idgj_group_skip_delegates() {
+        let t = inner_table();
+        let w = Work::new();
+        let mut j = Idgj::new(grouped_outer(), 1, &t, 0, 0, w.clone());
+        let first = j.next().unwrap();
+        assert_eq!(first.get(0).as_int(), 100);
+        j.advance_to_next_group();
+        let next = j.next().unwrap();
+        assert_eq!(next.get(0).as_int(), 200);
+        j.advance_to_next_group();
+        let last = j.next().unwrap();
+        assert_eq!(last.get(0).as_int(), 300);
+    }
+
+    #[test]
+    fn idgj_fallback_drain_when_input_ungrouped() {
+        let t = inner_table();
+        // Plain ValuesScan: not grouped -> IDGJ drains manually.
+        let outer: BoxedOp<'static> = Box::new(ValuesScan::new(outer_rows(), Work::new()));
+        let mut j = Idgj::new(outer, 1, &t, 0, 0, Work::new());
+        j.next().unwrap();
+        j.advance_to_next_group();
+        assert_eq!(j.next().unwrap().get(0).as_int(), 200);
+    }
+
+    #[test]
+    fn idgj_advance_before_any_next_is_noop() {
+        let t = inner_table();
+        let mut j = Idgj::new(grouped_outer(), 1, &t, 0, 0, Work::new());
+        j.advance_to_next_group();
+        assert_eq!(j.next().unwrap().get(0).as_int(), 100);
+    }
+
+    #[test]
+    fn hdgj_matches_idgj_output() {
+        let t = inner_table();
+        let mut i = Idgj::new(grouped_outer(), 1, &t, 0, 0, Work::new());
+        let inner_scan: BoxedOp<'_> =
+            Box::new(TableScanHelper::new(&t));
+        let mut h = Hdgj::new(grouped_outer(), 1, inner_scan, 0, 0, Work::new());
+        assert_eq!(collect_all(&mut i), collect_all(&mut h));
+    }
+
+    #[test]
+    fn hdgj_rescans_inner_per_group() {
+        let t = inner_table();
+        let w = Work::new();
+        let inner_scan: BoxedOp<'_> = Box::new(TableScanHelper::new(&t));
+        let mut h = Hdgj::new(grouped_outer(), 1, inner_scan, 0, 0, w.clone());
+        let _ = collect_all(&mut h);
+        // 3 groups × 3 inner rows = 9 inner touches at minimum.
+        assert!(w.get() >= 9 + 6, "work = {}", w.get());
+    }
+
+    #[test]
+    fn hdgj_group_skip() {
+        let t = inner_table();
+        let inner_scan: BoxedOp<'_> = Box::new(TableScanHelper::new(&t));
+        let mut h = Hdgj::new(grouped_outer(), 1, inner_scan, 0, 0, Work::new());
+        let first = h.next().unwrap();
+        assert_eq!(first.get(0).as_int(), 100);
+        h.advance_to_next_group();
+        assert_eq!(h.next().unwrap().get(0).as_int(), 200);
+    }
+
+    #[test]
+    fn distinct_topk_over_idgj() {
+        let t = inner_table();
+        let mut j = Idgj::new(grouped_outer(), 1, &t, 0, 0, Work::new());
+        let top2 = collect_distinct_topk(&mut j, 0, 2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].get(0).as_int(), 100);
+        assert_eq!(top2[1].get(0).as_int(), 200);
+    }
+
+    /// Minimal rewindable scan over a table for HDGJ inners in tests.
+    struct TableScanHelper<'a> {
+        t: &'a Table,
+        pos: usize,
+    }
+    impl<'a> TableScanHelper<'a> {
+        fn new(t: &'a Table) -> Self {
+            TableScanHelper { t, pos: 0 }
+        }
+    }
+    impl Operator for TableScanHelper<'_> {
+        fn next(&mut self) -> Option<Row> {
+            if self.pos < self.t.len() {
+                let r = self.t.row(self.pos as u32).clone();
+                self.pos += 1;
+                Some(r)
+            } else {
+                None
+            }
+        }
+        fn rewind(&mut self) {
+            self.pos = 0;
+        }
+    }
+}

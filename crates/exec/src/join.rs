@@ -1,0 +1,214 @@
+//! Regular (non-DGJ) join operators: hash join and index nested loops.
+
+use std::collections::HashMap;
+
+use ts_storage::{Row, Table, Value};
+
+use crate::op::{BoxedOp, Operator, Work};
+
+/// Classic hash join: materializes and hashes the build side once, then
+/// streams the probe side. Output is `probe_row ++ build_row`.
+///
+/// As §5.2 of the paper notes, a regular hash join does **not** preserve
+/// the order of groups cheaply exploitable for skipping — it reports
+/// `grouped() == false`, which is exactly why the ET plans need DGJ
+/// operators instead.
+pub struct HashJoin<'a> {
+    probe: BoxedOp<'a>,
+    build: BoxedOp<'a>,
+    probe_col: usize,
+    build_col: usize,
+    table: Option<HashMap<Value, Vec<Row>>>,
+    /// Matches pending for the current probe row.
+    pending: Vec<Row>,
+    work: Work,
+}
+
+impl<'a> HashJoin<'a> {
+    /// Join `probe` and `build` on `probe_col = build_col`.
+    pub fn new(
+        probe: BoxedOp<'a>,
+        probe_col: usize,
+        build: BoxedOp<'a>,
+        build_col: usize,
+        work: Work,
+    ) -> Self {
+        HashJoin { probe, build, probe_col, build_col, table: None, pending: Vec::new(), work }
+    }
+
+    fn build_table(&mut self) {
+        if self.table.is_some() {
+            return;
+        }
+        let mut map: HashMap<Value, Vec<Row>> = HashMap::new();
+        while let Some(r) = self.build.next() {
+            self.work.tick(1);
+            map.entry(r.get(self.build_col).clone()).or_default().push(r);
+        }
+        self.table = Some(map);
+    }
+}
+
+impl Operator for HashJoin<'_> {
+    fn next(&mut self) -> Option<Row> {
+        self.build_table();
+        loop {
+            if let Some(r) = self.pending.pop() {
+                return Some(r);
+            }
+            let probe_row = self.probe.next()?;
+            self.work.tick(1);
+            let table = self.table.as_ref().expect("built");
+            if let Some(matches) = table.get(probe_row.get(self.probe_col)) {
+                // Preserve build order: fill pending reversed, pop from end.
+                for m in matches.iter().rev() {
+                    self.pending.push(probe_row.concat(m));
+                }
+            }
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.probe.rewind();
+        self.pending.clear();
+        // Keep the built hash table: the build side is immutable input.
+    }
+}
+
+/// Index nested-loops join against a base table: for each outer row,
+/// probe the table's hash index on `inner_col` with the outer row's
+/// `outer_col` value. Output is `outer_row ++ inner_row`, in outer order.
+pub struct IndexNlJoin<'a> {
+    outer: BoxedOp<'a>,
+    inner: &'a Table,
+    outer_col: usize,
+    inner_col: usize,
+    pending: Vec<Row>,
+    work: Work,
+}
+
+impl<'a> IndexNlJoin<'a> {
+    /// Join `outer` with `inner` on `outer_col = inner.inner_col`.
+    ///
+    /// `inner_col` may be the primary-key column or any column with a
+    /// secondary index.
+    pub fn new(
+        outer: BoxedOp<'a>,
+        outer_col: usize,
+        inner: &'a Table,
+        inner_col: usize,
+        work: Work,
+    ) -> Self {
+        IndexNlJoin { outer, inner, outer_col, inner_col, pending: Vec::new(), work }
+    }
+
+    fn probe(&self, key: &Value) -> Vec<Row> {
+        self.work.tick(1); // one index probe
+        if self.inner.schema().primary_key == Some(self.inner_col) {
+            self.inner.by_pk(key).map(|r| vec![r.clone()]).unwrap_or_default()
+        } else {
+            self.inner
+                .index_probe(self.inner_col, key)
+                .iter()
+                .map(|&rid| self.inner.row(rid).clone())
+                .collect()
+        }
+    }
+}
+
+impl Operator for IndexNlJoin<'_> {
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            if let Some(r) = self.pending.pop() {
+                return Some(r);
+            }
+            let outer_row = self.outer.next()?;
+            self.work.tick(1);
+            let matches = self.probe(outer_row.get(self.outer_col));
+            for m in matches.iter().rev() {
+                self.pending.push(outer_row.concat(m));
+            }
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.outer.rewind();
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::collect_all;
+    use crate::scan::ValuesScan;
+    use ts_storage::{row, ColumnDef, TableSchema, ValueType};
+
+    fn values(rows: Vec<Row>) -> BoxedOp<'static> {
+        Box::new(ValuesScan::new(rows, Work::new()))
+    }
+
+    fn inner_table() -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "Inner",
+            vec![ColumnDef::new("k", ValueType::Int), ColumnDef::new("v", ValueType::Str)],
+            None,
+        ));
+        t.insert(row![1i64, "one"]).unwrap();
+        t.insert(row![1i64, "uno"]).unwrap();
+        t.insert(row![2i64, "two"]).unwrap();
+        t.create_index(0);
+        t
+    }
+
+    #[test]
+    fn hash_join_matches_pairs() {
+        let probe = values(vec![row![1i64, "L1"], row![2i64, "L2"], row![3i64, "L3"]]);
+        let build = values(vec![row![1i64, "R1"], row![1i64, "R1b"], row![2i64, "R2"]]);
+        let mut j = HashJoin::new(probe, 0, build, 0, Work::new());
+        let got = collect_all(&mut j);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0], row![1i64, "L1", 1i64, "R1"]);
+        assert_eq!(got[1], row![1i64, "L1", 1i64, "R1b"]);
+        assert_eq!(got[2], row![2i64, "L2", 2i64, "R2"]);
+        j.rewind();
+        assert_eq!(collect_all(&mut j).len(), 3);
+    }
+
+    #[test]
+    fn hash_join_empty_sides() {
+        let mut j = HashJoin::new(values(vec![]), 0, values(vec![row![1i64]]), 0, Work::new());
+        assert!(collect_all(&mut j).is_empty());
+        let mut j2 = HashJoin::new(values(vec![row![1i64]]), 0, values(vec![]), 0, Work::new());
+        assert!(collect_all(&mut j2).is_empty());
+    }
+
+    #[test]
+    fn index_nl_join_probes_secondary_index() {
+        let t = inner_table();
+        let outer = values(vec![row![2i64], row![1i64], row![9i64]]);
+        let w = Work::new();
+        let mut j = IndexNlJoin::new(outer, 0, &t, 0, w.clone());
+        let got = collect_all(&mut j);
+        assert_eq!(got.len(), 3);
+        // Outer order preserved: key 2 first.
+        assert_eq!(got[0], row![2i64, 2i64, "two"]);
+        assert_eq!(got[1], row![1i64, 1i64, "one"]);
+        assert_eq!(got[2], row![1i64, 1i64, "uno"]);
+        assert!(w.get() >= 3); // at least one probe per outer row
+    }
+
+    #[test]
+    fn index_nl_join_on_primary_key() {
+        let mut t = Table::new(TableSchema::new(
+            "PkT",
+            vec![ColumnDef::new("id", ValueType::Int), ColumnDef::new("v", ValueType::Str)],
+            Some(0),
+        ));
+        t.insert(row![7i64, "seven"]).unwrap();
+        let outer = values(vec![row![7i64], row![8i64]]);
+        let mut j = IndexNlJoin::new(outer, 0, &t, 0, Work::new());
+        let got = collect_all(&mut j);
+        assert_eq!(got, vec![row![7i64, 7i64, "seven"]]);
+    }
+}

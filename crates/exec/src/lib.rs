@@ -1,0 +1,40 @@
+//! # ts-exec
+//!
+//! A Volcano-style iterator execution engine (Graefe & McKenna's
+//! `getNext` interface, which the paper cites in §5.3) extended with the
+//! paper's **Distinct Group Join (DGJ)** operator family.
+//!
+//! DGJ operators have the two properties of §5.3:
+//!
+//! * **(a)** they understand groups of tuples, preserve the order of
+//!   groups from input to output, and
+//! * **(b)** they can efficiently skip from one group to the next via
+//!   [`Operator::advance_to_next_group`] — the hook that makes
+//!   early-termination top-k topology evaluation possible.
+//!
+//! Two implementations are provided, exactly as in the paper: [`Idgj`]
+//! (index nested-loops) and [`Hdgj`] (hash join executed a group at a
+//! time, re-evaluating the inner per group). Regular operators
+//! (scans, filters, hash join, index NLJ, sort, distinct, limit, union)
+//! complete the engine so that every strategy of the evaluation runs on
+//! the same substrate.
+//!
+//! All operators share a [`Work`] counter that meters tuples processed
+//! and index probes — a machine-independent cost figure reported next to
+//! wall-clock time in the benchmark harnesses.
+
+pub mod dgj;
+pub mod driver;
+pub mod join;
+pub mod op;
+pub mod scan;
+pub mod simple;
+pub mod sort;
+
+pub use dgj::{Hdgj, Idgj};
+pub use driver::{collect_all, collect_distinct_groups, collect_distinct_topk};
+pub use join::{HashJoin, IndexNlJoin};
+pub use op::{BoxedOp, Operator, Work};
+pub use scan::{IndexLookupScan, TableScan, ValuesScan};
+pub use simple::{Distinct, Filter, Limit, Project, UnionAll};
+pub use sort::Sort;

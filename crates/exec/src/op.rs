@@ -1,0 +1,88 @@
+//! The operator interface and the shared work meter.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use ts_storage::Row;
+
+/// A boxed operator with the lifetime of the data it scans.
+pub type BoxedOp<'a> = Box<dyn Operator + 'a>;
+
+/// Machine-independent work meter shared by all operators of a plan.
+///
+/// One unit ≈ one tuple touched or one index probe. The paper reports
+/// wall-clock seconds on its DB2 testbed; we report both wall-clock and
+/// this counter so the *shape* of Table 2 is reproducible independently
+/// of the host machine.
+#[derive(Debug, Clone, Default)]
+pub struct Work(Rc<Cell<u64>>);
+
+impl Work {
+    /// Fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` units.
+    pub fn tick(&self, n: u64) {
+        self.0.set(self.0.get() + n);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// Volcano iterator interface with the DGJ extension.
+pub trait Operator {
+    /// Produce the next output row, or `None` when exhausted.
+    fn next(&mut self) -> Option<Row>;
+
+    /// Reset to the beginning (used by group-at-a-time inner rescans).
+    fn rewind(&mut self);
+
+    /// True if this operator maintains group semantics: its output is
+    /// clustered by a group column whose order is preserved from input
+    /// to output (property (a) of DGJ operators).
+    fn grouped(&self) -> bool {
+        false
+    }
+
+    /// Skip the remainder of the current group (property (b)).
+    ///
+    /// For non-grouped operators this is a contract violation and panics:
+    /// the optimizer must only place group-skips above group-preserving
+    /// operators.
+    fn advance_to_next_group(&mut self) {
+        panic!("advance_to_next_group called on a non-grouped operator");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Empty;
+    impl Operator for Empty {
+        fn next(&mut self) -> Option<Row> {
+            None
+        }
+        fn rewind(&mut self) {}
+    }
+
+    #[test]
+    fn work_accumulates() {
+        let w = Work::new();
+        let w2 = w.clone();
+        w.tick(3);
+        w2.tick(4);
+        assert_eq!(w.get(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-grouped operator")]
+    fn default_advance_panics() {
+        Empty.advance_to_next_group();
+    }
+}

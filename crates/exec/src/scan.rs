@@ -1,0 +1,208 @@
+//! Scan operators: sequential table scan, index lookups, materialized rows.
+
+use ts_storage::{Predicate, Row, Table, Value};
+
+use crate::op::{Operator, Work};
+
+/// Sequential scan over a table with an optional residual predicate.
+pub struct TableScan<'a> {
+    table: &'a Table,
+    pred: Predicate,
+    pos: usize,
+    work: Work,
+}
+
+impl<'a> TableScan<'a> {
+    /// Scan `table`, emitting rows satisfying `pred`.
+    pub fn new(table: &'a Table, pred: Predicate, work: Work) -> Self {
+        TableScan { table, pred, pos: 0, work }
+    }
+}
+
+impl Operator for TableScan<'_> {
+    fn next(&mut self) -> Option<Row> {
+        while self.pos < self.table.len() {
+            let row = self.table.row(self.pos as u32);
+            self.pos += 1;
+            self.work.tick(1);
+            if self.pred.eval(row) {
+                return Some(row.clone());
+            }
+        }
+        None
+    }
+
+    fn rewind(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// Index lookup: emit the rows of `table` whose indexed column equals a
+/// fixed key (one probe, then posting-list iteration).
+pub struct IndexLookupScan<'a> {
+    table: &'a Table,
+    col: usize,
+    key: Value,
+    posting_pos: usize,
+    probed: bool,
+    postings: Vec<u32>,
+    work: Work,
+}
+
+impl<'a> IndexLookupScan<'a> {
+    /// Probe the secondary index on `col` for `key`.
+    pub fn new(table: &'a Table, col: usize, key: Value, work: Work) -> Self {
+        IndexLookupScan { table, col, key, posting_pos: 0, probed: false, postings: Vec::new(), work }
+    }
+}
+
+impl Operator for IndexLookupScan<'_> {
+    fn next(&mut self) -> Option<Row> {
+        if !self.probed {
+            self.probed = true;
+            self.work.tick(1); // the probe itself
+            self.postings = self.table.index_probe(self.col, &self.key).to_vec();
+        }
+        if self.posting_pos < self.postings.len() {
+            let id = self.postings[self.posting_pos];
+            self.posting_pos += 1;
+            self.work.tick(1);
+            Some(self.table.row(id).clone())
+        } else {
+            None
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.posting_pos = 0;
+    }
+}
+
+/// Scan over pre-materialized rows (e.g. TopInfo sorted by score).
+///
+/// `grouped` marks the stream as clustered by a group column so DGJ
+/// operators can be stacked on top; [`ValuesScan::advance_to_next_group`]
+/// then skips to the next distinct value of that column.
+pub struct ValuesScan {
+    rows: Vec<Row>,
+    pos: usize,
+    group_col: Option<usize>,
+    work: Work,
+}
+
+impl ValuesScan {
+    /// Ungrouped stream of rows.
+    pub fn new(rows: Vec<Row>, work: Work) -> Self {
+        ValuesScan { rows, pos: 0, group_col: None, work }
+    }
+
+    /// Stream clustered by `group_col` (rows must already be clustered).
+    pub fn grouped(rows: Vec<Row>, group_col: usize, work: Work) -> Self {
+        ValuesScan { rows, pos: 0, group_col: Some(group_col), work }
+    }
+}
+
+impl Operator for ValuesScan {
+    fn next(&mut self) -> Option<Row> {
+        if self.pos < self.rows.len() {
+            let r = self.rows[self.pos].clone();
+            self.pos += 1;
+            self.work.tick(1);
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.pos = 0;
+    }
+
+    fn grouped(&self) -> bool {
+        self.group_col.is_some()
+    }
+
+    fn advance_to_next_group(&mut self) {
+        let Some(col) = self.group_col else {
+            panic!("advance_to_next_group called on a non-grouped operator");
+        };
+        if self.pos == 0 || self.pos > self.rows.len() {
+            return;
+        }
+        // Current group is the one of the last-emitted row.
+        let current = self.rows[self.pos - 1].get(col).clone();
+        while self.pos < self.rows.len() && *self.rows[self.pos].get(col) == current {
+            self.pos += 1;
+            self.work.tick(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ts_storage::{row, ColumnDef, TableSchema, ValueType};
+
+    fn table() -> Table {
+        let mut t = Table::new(TableSchema::new(
+            "T",
+            vec![ColumnDef::new("id", ValueType::Int), ColumnDef::new("s", ValueType::Str)],
+            Some(0),
+        ));
+        t.insert(row![1i64, "a"]).unwrap();
+        t.insert(row![2i64, "b"]).unwrap();
+        t.insert(row![3i64, "a"]).unwrap();
+        t.create_index(1);
+        t
+    }
+
+    #[test]
+    fn table_scan_filters_and_meters() {
+        let t = table();
+        let w = Work::new();
+        let mut op = TableScan::new(&t, Predicate::eq(1, "a"), w.clone());
+        let got = crate::driver::collect_all(&mut op);
+        assert_eq!(got.len(), 2);
+        assert_eq!(w.get(), 3); // three rows touched
+        op.rewind();
+        assert_eq!(crate::driver::collect_all(&mut op).len(), 2);
+    }
+
+    #[test]
+    fn index_lookup_scan() {
+        let t = table();
+        let w = Work::new();
+        let mut op = IndexLookupScan::new(&t, 1, Value::str("a"), w.clone());
+        let got = crate::driver::collect_all(&mut op);
+        assert_eq!(got.len(), 2);
+        op.rewind();
+        assert_eq!(crate::driver::collect_all(&mut op).len(), 2);
+    }
+
+    #[test]
+    fn values_scan_group_skip() {
+        let rows = vec![
+            row![10i64, 1i64],
+            row![10i64, 2i64],
+            row![10i64, 3i64],
+            row![20i64, 4i64],
+            row![20i64, 5i64],
+        ];
+        let mut op = ValuesScan::grouped(rows, 0, Work::new());
+        assert!(op.grouped());
+        let first = op.next().unwrap();
+        assert_eq!(first.get(1).as_int(), 1);
+        op.advance_to_next_group();
+        let next = op.next().unwrap();
+        assert_eq!(next.get(0).as_int(), 20);
+        assert_eq!(next.get(1).as_int(), 4);
+    }
+
+    #[test]
+    fn values_scan_advance_before_next_is_noop() {
+        let rows = vec![row![10i64], row![20i64]];
+        let mut op = ValuesScan::grouped(rows, 0, Work::new());
+        op.advance_to_next_group();
+        assert_eq!(op.next().unwrap().get(0).as_int(), 10);
+    }
+}

@@ -1,0 +1,227 @@
+//! Stateless / simple operators: filter, project, limit, distinct, union.
+
+use std::collections::HashSet;
+
+use ts_storage::{Predicate, Row};
+
+use crate::op::{BoxedOp, Operator, Work};
+
+/// Filter rows by a predicate. Preserves grouping of its input.
+pub struct Filter<'a> {
+    input: BoxedOp<'a>,
+    pred: Predicate,
+    work: Work,
+}
+
+impl<'a> Filter<'a> {
+    /// Filter `input` by `pred`.
+    pub fn new(input: BoxedOp<'a>, pred: Predicate, work: Work) -> Self {
+        Filter { input, pred, work }
+    }
+}
+
+impl Operator for Filter<'_> {
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            let row = self.input.next()?;
+            self.work.tick(1);
+            if self.pred.eval(&row) {
+                return Some(row);
+            }
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.input.rewind();
+    }
+
+    fn grouped(&self) -> bool {
+        self.input.grouped()
+    }
+
+    fn advance_to_next_group(&mut self) {
+        self.input.advance_to_next_group();
+    }
+}
+
+/// Project rows onto a set of column indices. Grouping is preserved only
+/// if the caller keeps the group column; the operator stays conservative
+/// and reports its input's groupedness (callers project group-last).
+pub struct Project<'a> {
+    input: BoxedOp<'a>,
+    cols: Vec<usize>,
+}
+
+impl<'a> Project<'a> {
+    /// Keep `cols` (in order) of every input row.
+    pub fn new(input: BoxedOp<'a>, cols: Vec<usize>) -> Self {
+        Project { input, cols }
+    }
+}
+
+impl Operator for Project<'_> {
+    fn next(&mut self) -> Option<Row> {
+        self.input.next().map(|r| r.project(&self.cols))
+    }
+
+    fn rewind(&mut self) {
+        self.input.rewind();
+    }
+}
+
+/// Stop after `k` rows — the `FETCH FIRST k ROWS ONLY` clause.
+pub struct Limit<'a> {
+    input: BoxedOp<'a>,
+    k: usize,
+    produced: usize,
+}
+
+impl<'a> Limit<'a> {
+    /// Emit at most `k` rows of `input`.
+    pub fn new(input: BoxedOp<'a>, k: usize) -> Self {
+        Limit { input, k, produced: 0 }
+    }
+}
+
+impl Operator for Limit<'_> {
+    fn next(&mut self) -> Option<Row> {
+        if self.produced >= self.k {
+            return None;
+        }
+        let r = self.input.next()?;
+        self.produced += 1;
+        Some(r)
+    }
+
+    fn rewind(&mut self) {
+        self.produced = 0;
+        self.input.rewind();
+    }
+}
+
+/// Hash-based duplicate elimination on the projection `key_cols`
+/// (emits the full row of the first occurrence).
+pub struct Distinct<'a> {
+    input: BoxedOp<'a>,
+    key_cols: Vec<usize>,
+    seen: HashSet<Row>,
+    work: Work,
+}
+
+impl<'a> Distinct<'a> {
+    /// Distinct over `key_cols` of `input`.
+    pub fn new(input: BoxedOp<'a>, key_cols: Vec<usize>, work: Work) -> Self {
+        Distinct { input, key_cols, seen: HashSet::new(), work }
+    }
+}
+
+impl Operator for Distinct<'_> {
+    fn next(&mut self) -> Option<Row> {
+        loop {
+            let row = self.input.next()?;
+            self.work.tick(1);
+            let key = row.project(&self.key_cols);
+            if self.seen.insert(key) {
+                return Some(row);
+            }
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.seen.clear();
+        self.input.rewind();
+    }
+}
+
+/// Concatenation of several inputs (SQL UNION ALL; place a [`Distinct`]
+/// on top for UNION).
+pub struct UnionAll<'a> {
+    inputs: Vec<BoxedOp<'a>>,
+    current: usize,
+}
+
+impl<'a> UnionAll<'a> {
+    /// Concatenate `inputs` in order.
+    pub fn new(inputs: Vec<BoxedOp<'a>>) -> Self {
+        UnionAll { inputs, current: 0 }
+    }
+}
+
+impl Operator for UnionAll<'_> {
+    fn next(&mut self) -> Option<Row> {
+        while self.current < self.inputs.len() {
+            if let Some(r) = self.inputs[self.current].next() {
+                return Some(r);
+            }
+            self.current += 1;
+        }
+        None
+    }
+
+    fn rewind(&mut self) {
+        self.current = 0;
+        for i in &mut self.inputs {
+            i.rewind();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::collect_all;
+    use crate::scan::ValuesScan;
+    use ts_storage::row;
+
+    fn values(rows: Vec<Row>) -> BoxedOp<'static> {
+        Box::new(ValuesScan::new(rows, Work::new()))
+    }
+
+    #[test]
+    fn filter_project_limit_pipeline() {
+        let rows = vec![row![1i64, "a"], row![2i64, "b"], row![3i64, "a"], row![4i64, "a"]];
+        let f = Filter::new(values(rows), Predicate::eq(1, "a"), Work::new());
+        let p = Project::new(Box::new(f), vec![0]);
+        let mut l = Limit::new(Box::new(p), 2);
+        let got = collect_all(&mut l);
+        assert_eq!(got, vec![row![1i64], row![3i64]]);
+        l.rewind();
+        assert_eq!(collect_all(&mut l).len(), 2);
+    }
+
+    #[test]
+    fn distinct_on_key_cols() {
+        let rows = vec![row![1i64, "x"], row![1i64, "y"], row![2i64, "x"]];
+        let mut d = Distinct::new(values(rows), vec![0], Work::new());
+        let got = collect_all(&mut d);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].get(1).as_str(), "x"); // first occurrence wins
+        d.rewind();
+        assert_eq!(collect_all(&mut d).len(), 2);
+    }
+
+    #[test]
+    fn union_all_concatenates_and_rewinds() {
+        let mut u = UnionAll::new(vec![
+            values(vec![row![1i64]]),
+            values(vec![]),
+            values(vec![row![2i64], row![3i64]]),
+        ]);
+        assert_eq!(collect_all(&mut u).len(), 3);
+        u.rewind();
+        let got = collect_all(&mut u);
+        assert_eq!(got[0], row![1i64]);
+        assert_eq!(got[2], row![3i64]);
+    }
+
+    #[test]
+    fn filter_propagates_group_skip() {
+        let rows = vec![row![10i64, 1i64], row![10i64, 2i64], row![20i64, 3i64]];
+        let scan = ValuesScan::grouped(rows, 0, Work::new());
+        let mut f = Filter::new(Box::new(scan), Predicate::True, Work::new());
+        assert!(f.grouped());
+        f.next().unwrap();
+        f.advance_to_next_group();
+        assert_eq!(f.next().unwrap().get(0).as_int(), 20);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests: operator semantics against naive references.
+
+use proptest::prelude::*;
+use ts_exec::{
+    collect_all, collect_distinct_groups, BoxedOp, Distinct, Hdgj, HashJoin, Idgj, Sort,
+    ValuesScan, Work,
+};
+use ts_storage::{row, ColumnDef, Row, Table, TableSchema, Value, ValueType};
+
+fn rows_strategy(n: usize, key_range: i64) -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec((0..key_range, 0..key_range), 0..n)
+        .prop_map(|v| v.into_iter().map(|(a, b)| row![a, b]).collect())
+}
+
+fn values(rows: Vec<Row>) -> BoxedOp<'static> {
+    Box::new(ValuesScan::new(rows, Work::new()))
+}
+
+/// Naive nested-loop join reference.
+fn nl_join(left: &[Row], lcol: usize, right: &[Row], rcol: usize) -> Vec<Row> {
+    let mut out = Vec::new();
+    for l in left {
+        for r in right {
+            if l.get(lcol) == r.get(rcol) {
+                out.push(l.concat(r));
+            }
+        }
+    }
+    out
+}
+
+fn sorted_multiset(mut v: Vec<Row>) -> Vec<Row> {
+    v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_join_equals_nested_loops(
+        left in rows_strategy(20, 6),
+        right in rows_strategy(20, 6),
+    ) {
+        let mut j = HashJoin::new(values(left.clone()), 0, values(right.clone()), 1, Work::new());
+        let got = sorted_multiset(collect_all(&mut j));
+        let expected = sorted_multiset(nl_join(&left, 0, &right, 1));
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sort_is_a_permutation_and_ordered(rows in rows_strategy(30, 10)) {
+        let n = rows.len();
+        let mut s = Sort::new(
+            values(rows.clone()),
+            vec![(0, ts_exec::sort::Dir::Desc), (1, ts_exec::sort::Dir::Asc)],
+            Work::new(),
+        );
+        let got = collect_all(&mut s);
+        prop_assert_eq!(got.len(), n);
+        for w in got.windows(2) {
+            let k0 = (w[0].get(0).as_int(), w[0].get(1).as_int());
+            let k1 = (w[1].get(0).as_int(), w[1].get(1).as_int());
+            prop_assert!(k0.0 > k1.0 || (k0.0 == k1.0 && k0.1 <= k1.1));
+        }
+        prop_assert_eq!(sorted_multiset(got), sorted_multiset(rows));
+    }
+
+    #[test]
+    fn distinct_keeps_first_of_each_key(rows in rows_strategy(30, 5)) {
+        let mut d = Distinct::new(values(rows.clone()), vec![0], Work::new());
+        let got = collect_all(&mut d);
+        // Reference: first occurrence per key, in order.
+        let mut seen = std::collections::HashSet::new();
+        let expected: Vec<Row> =
+            rows.into_iter().filter(|r| seen.insert(r.get(0).clone())).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn idgj_and_hdgj_agree_with_reference(
+        groups in proptest::collection::vec((0..4i64, proptest::collection::vec(0..8i64, 0..5)), 0..5),
+    ) {
+        // Build a clustered outer: (group, key) rows.
+        let mut outer_rows: Vec<Row> = Vec::new();
+        let mut gs: Vec<(i64, Vec<i64>)> = groups;
+        gs.sort_by_key(|g| g.0);
+        gs.dedup_by_key(|g| g.0);
+        for (gid, keys) in &gs {
+            for k in keys {
+                outer_rows.push(row![*gid, *k]);
+            }
+        }
+        // Inner table with an index.
+        let mut inner = Table::new(TableSchema::new(
+            "I",
+            vec![ColumnDef::new("k", ValueType::Int), ColumnDef::new("v", ValueType::Int)],
+            None,
+        ));
+        for k in 0..8i64 {
+            if k % 2 == 0 {
+                inner.insert(row![k, k * 100]).unwrap();
+            }
+        }
+        inner.create_index(0);
+
+        let grouped = |rows: Vec<Row>| -> BoxedOp<'static> {
+            Box::new(ValuesScan::grouped(rows, 0, Work::new()))
+        };
+        let mut idgj = Idgj::new(grouped(outer_rows.clone()), 1, &inner, 0, 0, Work::new());
+        let got_i = collect_all(&mut idgj);
+
+        let inner_scan: BoxedOp<'_> =
+            Box::new(ts_exec::TableScan::new(&inner, ts_storage::Predicate::True, Work::new()));
+        let mut hdgj = Hdgj::new(grouped(outer_rows.clone()), 1, inner_scan, 0, 0, Work::new());
+        let got_h = collect_all(&mut hdgj);
+
+        let expected = nl_join(&outer_rows, 1, inner.rows(), 0);
+        prop_assert_eq!(sorted_multiset(got_i.clone()), sorted_multiset(expected));
+        prop_assert_eq!(sorted_multiset(got_h), sorted_multiset(got_i.clone()));
+        // Group order preserved in both.
+        let gseq: Vec<i64> = got_i.iter().map(|r| r.get(0).as_int()).collect();
+        let mut sorted_gseq = gseq.clone();
+        sorted_gseq.sort_unstable();
+        prop_assert_eq!(gseq, sorted_gseq);
+    }
+
+    #[test]
+    fn distinct_groups_equals_unique_group_values(
+        gids in proptest::collection::vec(0..5i64, 0..20),
+    ) {
+        let mut sorted = gids.clone();
+        sorted.sort_unstable();
+        let rows: Vec<Row> = sorted.iter().map(|&g| row![g]).collect();
+        let mut scan = ValuesScan::grouped(rows, 0, Work::new());
+        let got = collect_distinct_groups(&mut scan, 0);
+        let mut expected: Vec<Value> = sorted.into_iter().map(Value::Int).collect();
+        expected.dedup();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,428 @@
+//! Exact canonical codes for small labeled multigraphs.
+//!
+//! Isomorphism of labeled graphs (Definition in §2.1 of the paper) is the
+//! equivalence that defines both path classes and topologies, so the
+//! system needs a *canonical form*: a value equal for two graphs iff they
+//! are isomorphic. We compute it nauty-style, scaled down to topology-
+//! sized graphs:
+//!
+//! 1. **Colour refinement** (1-WL): nodes start coloured by their label
+//!    and are iteratively split by the multiset of (edge label, neighbour
+//!    colour) pairs, with deterministic re-ranking each round.
+//! 2. **Backtracking search** over all node orderings consistent with the
+//!    refined colours (positions are filled from the minimal remaining
+//!    colour class), emitting an incremental adjacency encoding and
+//!    keeping the lexicographically smallest — with prefix pruning
+//!    against the best code found so far.
+//!
+//! Topology graphs have ≤ ~15 nodes and refinement collapses almost all
+//! symmetry, so the search is effectively linear in practice; the
+//! exhaustive fallback guarantees exactness on adversarial symmetric
+//! inputs (property-tested below).
+
+use crate::lgraph::LGraph;
+
+/// A canonical code: two graphs have equal codes iff they are isomorphic
+/// as labeled multigraphs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct CanonicalCode(pub Vec<u32>);
+
+impl CanonicalCode {
+    /// Stable hex digest, handy as a compact catalog key in dumps.
+    pub fn digest(&self) -> String {
+        // FNV-1a over the code words; collisions are irrelevant because
+        // equality always goes through the full code.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for w in &self.0 {
+            for b in w.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        }
+        format!("{h:016x}")
+    }
+}
+
+/// Compute the canonical code of `g`.
+pub fn canonical_code(g: &LGraph) -> CanonicalCode {
+    let n = g.node_count();
+    if n == 0 {
+        return CanonicalCode(Vec::new());
+    }
+    let colors = refine(g);
+    let mut search = Search {
+        g,
+        colors: &colors,
+        perm: Vec::with_capacity(n),
+        used: vec![false; n],
+        code: Vec::new(),
+        best: None,
+    };
+    search.run();
+    CanonicalCode(search.best.expect("non-empty graph yields a code"))
+}
+
+/// Isomorphism test via canonical codes, with cheap invariant pre-checks.
+pub fn is_isomorphic(a: &LGraph, b: &LGraph) -> bool {
+    if a.node_count() != b.node_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    let mut la = a.labels.clone();
+    let mut lb = b.labels.clone();
+    la.sort_unstable();
+    lb.sort_unstable();
+    if la != lb {
+        return false;
+    }
+    canonical_code(a) == canonical_code(b)
+}
+
+/// 1-WL colour refinement with deterministic colour ranks.
+fn refine(g: &LGraph) -> Vec<u32> {
+    let n = g.node_count();
+    // Initial colours: rank of node label.
+    let mut sorted_labels: Vec<u16> = g.labels.clone();
+    sorted_labels.sort_unstable();
+    sorted_labels.dedup();
+    let mut colors: Vec<u32> = g
+        .labels
+        .iter()
+        .map(|l| sorted_labels.binary_search(l).expect("label present") as u32)
+        .collect();
+
+    // Precompute neighbourhoods once.
+    let neigh: Vec<Vec<(u16, u8)>> = (0..n).map(|v| g.neighbors(v as u8)).collect();
+
+    loop {
+        // Signature per node: (current colour, sorted (elabel, neighbour colour)).
+        let mut sigs: Vec<(u32, Vec<(u16, u32)>)> = Vec::with_capacity(n);
+        for v in 0..n {
+            let mut ns: Vec<(u16, u32)> =
+                neigh[v].iter().map(|&(el, w)| (el, colors[w as usize])).collect();
+            ns.sort_unstable();
+            sigs.push((colors[v], ns));
+        }
+        let mut distinct: Vec<&(u32, Vec<(u16, u32)>)> = sigs.iter().collect();
+        distinct.sort();
+        distinct.dedup();
+        let new_colors: Vec<u32> = sigs
+            .iter()
+            .map(|s| distinct.binary_search(&s).expect("sig present") as u32)
+            .collect();
+        if new_colors == colors {
+            return colors;
+        }
+        colors = new_colors;
+    }
+}
+
+/// Backtracking minimal-code search.
+struct Search<'a> {
+    g: &'a LGraph,
+    colors: &'a [u32],
+    perm: Vec<u8>,
+    used: Vec<bool>,
+    code: Vec<u32>,
+    best: Option<Vec<u32>>,
+}
+
+impl Search<'_> {
+    fn run(&mut self) {
+        self.step(true);
+    }
+
+    /// `tight` — the current partial code equals the best code's prefix
+    /// of the same length. Only then may a row that compares greater
+    /// than best's corresponding segment be pruned; once the partial
+    /// code is strictly smaller ("free"), every completion must be
+    /// explored because it beats the current best regardless of later
+    /// rows. (All complete codes have equal length: each label, slot
+    /// separator, row marker and edge label appears exactly once.)
+    fn step(&mut self, tight: bool) {
+        let n = self.g.node_count();
+        if self.perm.len() == n {
+            match &self.best {
+                Some(b) if self.code.as_slice() >= b.as_slice() => {}
+                _ => self.best = Some(self.code.clone()),
+            }
+            return;
+        }
+        // Candidates: unused nodes in the minimal remaining colour class.
+        let cmin = (0..n)
+            .filter(|&v| !self.used[v])
+            .map(|v| self.colors[v])
+            .min()
+            .expect("unused node exists");
+        let candidates: Vec<usize> =
+            (0..n).filter(|&v| !self.used[v] && self.colors[v] == cmin).collect();
+
+        for v in candidates {
+            let row = self.row_for(v as u8);
+            let mut child_tight = false;
+            if let Some(best) = &self.best {
+                if tight {
+                    let start = self.code.len();
+                    let end = (start + row.len()).min(best.len());
+                    match row.as_slice().cmp(&best[start..end]) {
+                        std::cmp::Ordering::Greater => continue, // prune
+                        std::cmp::Ordering::Equal => child_tight = true,
+                        std::cmp::Ordering::Less => child_tight = false,
+                    }
+                }
+            }
+            let mark = self.code.len();
+            self.code.extend_from_slice(&row);
+            self.used[v] = true;
+            self.perm.push(v as u8);
+
+            self.step(child_tight);
+
+            self.perm.pop();
+            self.used[v] = false;
+            self.code.truncate(mark);
+        }
+    }
+
+    /// Encoding row for placing node `v` at the next position: its label,
+    /// then for every already-placed node the sorted edge labels between
+    /// them. Token space: 0 = slot separator, 1 = row end, labels ≥ 2.
+    fn row_for(&self, v: u8) -> Vec<u32> {
+        let mut row = Vec::with_capacity(2 + self.perm.len());
+        row.push(self.g.labels[v as usize] as u32 + 2);
+        for &p in &self.perm {
+            let mut labels: Vec<u32> = self
+                .g
+                .edges
+                .iter()
+                .filter(|&&(a, b, _)| (a == p && b == v) || (a == v && b == p))
+                .map(|&(_, _, l)| l as u32 + 2)
+                .collect();
+            labels.sort_unstable();
+            row.push(0);
+            row.extend(labels);
+        }
+        row.push(1);
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(labels: &[u16], rels: &[u16]) -> LGraph {
+        let mut g = LGraph::new();
+        let nodes: Vec<u8> = labels.iter().map(|&l| g.add_node(l)).collect();
+        for (i, &r) in rels.iter().enumerate() {
+            g.add_edge(nodes[i], nodes[i + 1], r);
+        }
+        g.normalize();
+        g
+    }
+
+    #[test]
+    fn empty_graph_code() {
+        assert_eq!(canonical_code(&LGraph::new()), CanonicalCode(Vec::new()));
+    }
+
+    #[test]
+    fn permutation_invariance_small() {
+        let g = path(&[0, 2, 1], &[1, 2]);
+        let c = canonical_code(&g);
+        assert_eq!(canonical_code(&g.permuted(&[2, 0, 1])), c);
+        assert_eq!(canonical_code(&g.permuted(&[1, 2, 0])), c);
+    }
+
+    #[test]
+    fn label_changes_change_code() {
+        let g1 = path(&[0, 2, 1], &[1, 2]);
+        let g2 = path(&[0, 2, 1], &[1, 1]); // different edge label
+        let g3 = path(&[0, 0, 1], &[1, 2]); // different node label
+        assert_ne!(canonical_code(&g1), canonical_code(&g2));
+        assert_ne!(canonical_code(&g1), canonical_code(&g3));
+    }
+
+    #[test]
+    fn reversal_is_isomorphic() {
+        // P -e- D and D -e- P are the same undirected labeled graph.
+        let g1 = path(&[0, 1], &[0]);
+        let g2 = path(&[1, 0], &[0]);
+        assert!(is_isomorphic(&g1, &g2));
+    }
+
+    #[test]
+    fn t3_vs_t4_distinguished() {
+        // Paper Fig. 5: T3 (paths share the Unigene node) vs T4 (they
+        // don't) must have different codes.
+        // Types: P=0, D=1, U=2. Rels: encodes=0, uni_encodes=1, uni_contains=2.
+        let mut t3 = LGraph::new();
+        let p78 = t3.add_node(0);
+        let u = t3.add_node(2);
+        let d = t3.add_node(1);
+        let p34 = t3.add_node(0);
+        t3.add_edge(p78, u, 1);
+        t3.add_edge(u, d, 2);
+        t3.add_edge(u, p34, 1);
+        t3.add_edge(p34, d, 0);
+        t3.normalize();
+
+        let mut t4 = LGraph::new();
+        let p78b = t4.add_node(0);
+        let u1 = t4.add_node(2);
+        let d2 = t4.add_node(1);
+        let u2 = t4.add_node(2);
+        let p34b = t4.add_node(0);
+        t4.add_edge(p78b, u1, 1);
+        t4.add_edge(u1, d2, 2);
+        t4.add_edge(p78b, u2, 1);
+        t4.add_edge(u2, p34b, 1);
+        t4.add_edge(p34b, d2, 0);
+        t4.normalize();
+
+        assert!(!is_isomorphic(&t3, &t4));
+    }
+
+    #[test]
+    fn parallel_path_symmetry_collapses() {
+        // T5-like: P connected to D via two identical U paths. The two U
+        // nodes are automorphic; codes from both orderings must agree.
+        let mut g = LGraph::new();
+        let p = g.add_node(0);
+        let u1 = g.add_node(2);
+        let u2 = g.add_node(2);
+        let d = g.add_node(1);
+        g.add_edge(p, u1, 1);
+        g.add_edge(u1, d, 2);
+        g.add_edge(p, u2, 1);
+        g.add_edge(u2, d, 2);
+        g.normalize();
+        let c = canonical_code(&g);
+        assert_eq!(canonical_code(&g.permuted(&[0, 2, 1, 3])), c);
+        assert_eq!(canonical_code(&g.permuted(&[3, 1, 2, 0])), c);
+    }
+
+    #[test]
+    fn multi_edge_graphs_distinguished() {
+        // P =double edge= D (encodes + interacts-with) vs single edge.
+        let mut g1 = LGraph::new();
+        let p = g1.add_node(0);
+        let d = g1.add_node(1);
+        g1.add_edge(p, d, 0);
+        g1.add_edge(p, d, 3);
+        g1.normalize();
+        let g2 = path(&[0, 1], &[0]);
+        assert!(!is_isomorphic(&g1, &g2));
+        // And the double edge is order-insensitive.
+        let mut g3 = LGraph::new();
+        let d2 = g3.add_node(1);
+        let p2 = g3.add_node(0);
+        g3.add_edge(p2, d2, 3);
+        g3.add_edge(d2, p2, 0);
+        g3.normalize();
+        assert!(is_isomorphic(&g1, &g3));
+    }
+
+    #[test]
+    fn digest_is_stable() {
+        let g = path(&[0, 1], &[0]);
+        let d1 = canonical_code(&g).digest();
+        let d2 = canonical_code(&g.permuted(&[1, 0])).digest();
+        assert_eq!(d1, d2);
+        assert_eq!(d1.len(), 16);
+    }
+
+    #[test]
+    fn cycle_vs_path_same_labels() {
+        // Triangle P-D-U-P vs path P-D-U plus isolated? Use equal node and
+        // edge counts: square cycle vs two parallel paths already covered;
+        // here: 4-cycle vs 4-path+extra edge shapes.
+        let mut cyc = LGraph::new();
+        let a = cyc.add_node(0);
+        let b = cyc.add_node(1);
+        let c = cyc.add_node(0);
+        let d = cyc.add_node(1);
+        cyc.add_edge(a, b, 0);
+        cyc.add_edge(b, c, 0);
+        cyc.add_edge(c, d, 0);
+        cyc.add_edge(d, a, 0);
+        cyc.normalize();
+
+        let mut star = LGraph::new();
+        let hub = star.add_node(0);
+        let x = star.add_node(1);
+        let y = star.add_node(1);
+        let z = star.add_node(0);
+        star.add_edge(hub, x, 0);
+        star.add_edge(hub, y, 0);
+        star.add_edge(z, x, 0);
+        star.add_edge(z, y, 0);
+        star.normalize();
+        // These are actually isomorphic (both are 4-cycles with alternating
+        // labels) — a good sanity check that structure, not construction
+        // order, decides the code.
+        assert!(is_isomorphic(&cyc, &star));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random small labeled multigraph.
+    fn arb_graph() -> impl Strategy<Value = LGraph> {
+        (2usize..7).prop_flat_map(|n| {
+            let labels = proptest::collection::vec(0u16..4, n);
+            let edges = proptest::collection::vec(
+                (0..n as u8, 0..n as u8, 0u16..3),
+                0..(n * (n - 1)),
+            );
+            (labels, edges).prop_map(|(labels, edges)| {
+                let mut g = LGraph { labels, edges: Vec::new() };
+                for (u, v, l) in edges {
+                    if u != v {
+                        g.add_edge(u, v, l);
+                    }
+                }
+                g.normalize();
+                g
+            })
+        })
+    }
+
+    fn arb_perm(n: usize) -> impl Strategy<Value = Vec<u8>> {
+        Just((0..n as u8).collect::<Vec<u8>>()).prop_shuffle()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn canonical_code_is_permutation_invariant(g in arb_graph()) {
+            let n = g.node_count();
+            let code = canonical_code(&g);
+            // exercise a handful of permutations deterministically derived
+            let mut perm: Vec<u8> = (0..n as u8).collect();
+            perm.rotate_left(1);
+            prop_assert_eq!(canonical_code(&g.permuted(&perm)), code.clone());
+            perm.reverse();
+            prop_assert_eq!(canonical_code(&g.permuted(&perm)), code);
+        }
+
+        #[test]
+        fn random_permutations_preserve_code(
+            (g, perm) in arb_graph().prop_flat_map(|g| {
+                let n = g.node_count();
+                (Just(g), arb_perm(n))
+            })
+        ) {
+            prop_assert_eq!(canonical_code(&g.permuted(&perm)), canonical_code(&g));
+        }
+
+        #[test]
+        fn is_isomorphic_is_reflexive_and_symmetric(g in arb_graph(), h in arb_graph()) {
+            prop_assert!(is_isomorphic(&g, &g));
+            prop_assert_eq!(is_isomorphic(&g, &h), is_isomorphic(&h, &g));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The data graph (Fig. 6 of the paper): entities as nodes, relationship
+//! rows as undirected labeled edges.
+
+use std::collections::HashMap;
+
+use ts_storage::{Database, StorageError, Value};
+
+/// Global node identifier in the data graph.
+pub type NodeId = u32;
+
+/// The instance-level graph over a [`Database`]'s ER declarations.
+#[derive(Debug, Clone, Default)]
+pub struct DataGraph {
+    /// Entity-set id per node.
+    node_type: Vec<u16>,
+    /// Entity primary key per node.
+    node_entity: Vec<i64>,
+    /// Adjacency: `(relationship-set id, neighbour)`, sorted and deduped.
+    adj: Vec<Vec<(u16, NodeId)>>,
+    /// `(entity set, entity id)` → node.
+    index: HashMap<(u16, i64), NodeId>,
+    /// Nodes per entity set.
+    type_nodes: Vec<Vec<NodeId>>,
+}
+
+impl DataGraph {
+    /// Build the data graph from a database: one node per entity-table
+    /// row, one edge per relationship-table row. Dangling foreign keys
+    /// are an error — the topology catalog must not silently lose paths.
+    pub fn from_db(db: &Database) -> Result<Self, StorageError> {
+        let mut g = DataGraph {
+            type_nodes: vec![Vec::new(); db.entity_sets().len()],
+            ..DataGraph::default()
+        };
+
+        for (es_id, es) in db.entity_sets().iter().enumerate() {
+            let table = db.table(es.table);
+            let pk = table
+                .schema()
+                .primary_key
+                .ok_or_else(|| StorageError::BadDefinition(format!("{} lacks pk", es.name)))?;
+            for row in table.rows() {
+                let id = row.get(pk).try_int().ok_or_else(|| StorageError::SchemaMismatch {
+                    table: es.name.clone(),
+                    detail: "non-integer primary key".into(),
+                })?;
+                let node = g.node_type.len() as NodeId;
+                g.node_type.push(es_id as u16);
+                g.node_entity.push(id);
+                g.adj.push(Vec::new());
+                g.index.insert((es_id as u16, id), node);
+                g.type_nodes[es_id].push(node);
+            }
+        }
+
+        for (rid, rel) in db.rel_sets().iter().enumerate() {
+            let table = db.table(rel.table);
+            for row in table.rows() {
+                let from_id = row.get(rel.from_col).try_int().ok_or_else(|| {
+                    StorageError::SchemaMismatch {
+                        table: rel.name.clone(),
+                        detail: "non-integer foreign key".into(),
+                    }
+                })?;
+                let to_id = row.get(rel.to_col).try_int().ok_or_else(|| {
+                    StorageError::SchemaMismatch {
+                        table: rel.name.clone(),
+                        detail: "non-integer foreign key".into(),
+                    }
+                })?;
+                let u = *g.index.get(&(rel.from as u16, from_id)).ok_or_else(|| {
+                    StorageError::BadDefinition(format!(
+                        "{}: dangling fk {} into {}",
+                        rel.name,
+                        from_id,
+                        db.entity_set(rel.from).name
+                    ))
+                })?;
+                let v = *g.index.get(&(rel.to as u16, to_id)).ok_or_else(|| {
+                    StorageError::BadDefinition(format!(
+                        "{}: dangling fk {} into {}",
+                        rel.name,
+                        to_id,
+                        db.entity_set(rel.to).name
+                    ))
+                })?;
+                if u != v {
+                    g.adj[u as usize].push((rid as u16, v));
+                    g.adj[v as usize].push((rid as u16, u));
+                }
+            }
+        }
+
+        for a in &mut g.adj {
+            a.sort_unstable();
+            a.dedup();
+        }
+        Ok(g)
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.node_type.len()
+    }
+
+    /// Total (undirected) edge count.
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Node by `(entity set, entity id)`.
+    pub fn node(&self, es: u16, entity: i64) -> Option<NodeId> {
+        self.index.get(&(es, entity)).copied()
+    }
+
+    /// Entity-set id of a node.
+    pub fn node_type(&self, n: NodeId) -> u16 {
+        self.node_type[n as usize]
+    }
+
+    /// Entity primary key of a node.
+    pub fn node_entity(&self, n: NodeId) -> i64 {
+        self.node_entity[n as usize]
+    }
+
+    /// Entity primary key as a storage [`Value`].
+    pub fn node_entity_value(&self, n: NodeId) -> Value {
+        Value::Int(self.node_entity[n as usize])
+    }
+
+    /// Neighbours of a node: `(relationship-set id, neighbour)`.
+    pub fn neighbors(&self, n: NodeId) -> &[(u16, NodeId)] {
+        &self.adj[n as usize]
+    }
+
+    /// All nodes of an entity set.
+    pub fn nodes_of_type(&self, es: u16) -> &[NodeId] {
+        &self.type_nodes[es as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure3_db;
+    use ts_storage::row;
+
+    #[test]
+    fn figure6_counts() {
+        let db = figure3_db();
+        let g = DataGraph::from_db(&db).unwrap();
+        assert_eq!(g.node_count(), 11); // 4 P + 4 U + 3 D
+        assert_eq!(g.edge_count(), 11); // 2 encodes + 5 uni_encodes + 4 uni_contains
+        assert_eq!(g.nodes_of_type(0).len(), 4);
+    }
+
+    #[test]
+    fn node_lookup_and_labels() {
+        let db = figure3_db();
+        let g = DataGraph::from_db(&db).unwrap();
+        let p78 = g.node(0, 78).unwrap();
+        assert_eq!(g.node_type(p78), 0);
+        assert_eq!(g.node_entity(p78), 78);
+        assert!(g.node(0, 9999).is_none());
+        // p78 has uni_encodes edges from u103 and u150.
+        let n = g.neighbors(p78);
+        assert_eq!(n.len(), 2);
+        assert!(n.iter().all(|&(r, _)| r == 1));
+    }
+
+    #[test]
+    fn dangling_fk_is_an_error() {
+        let mut db = figure3_db();
+        let enc = db.table_id("Encodes").unwrap();
+        db.table_mut(enc).insert(row![32i64, 999_999i64]).unwrap();
+        let err = DataGraph::from_db(&db).unwrap_err();
+        assert!(matches!(err, StorageError::BadDefinition(_)));
+    }
+
+    #[test]
+    fn duplicate_relationship_rows_collapse() {
+        let mut db = figure3_db();
+        let enc = db.table_id("Encodes").unwrap();
+        db.table_mut(enc).insert(row![32i64, 214i64]).unwrap(); // duplicate
+        let g = DataGraph::from_db(&db).unwrap();
+        assert_eq!(g.edge_count(), 11);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ts-graph
+//!
+//! Graph substrate for topology search, implementing §2.1 of the paper:
+//!
+//! * the **data graph** (Fig. 6): one node per entity, one undirected
+//!   labeled edge per relationship row ([`DataGraph`]);
+//! * the **schema graph** (Fig. 1): entity sets connected by relationship
+//!   sets, with label-walk enumeration and reachability tables used to
+//!   prune instance-path search ([`SchemaGraph`]);
+//! * **simple-path enumeration** `PS(a, b, l)` — all simple paths of
+//!   length ≤ l between two entities ([`paths`]);
+//! * **labeled-graph isomorphism** via exact canonical codes (colour
+//!   refinement + backtracking minimal encoding, a miniature nauty) —
+//!   the identity of a topology everywhere in the system ([`canon`]);
+//! * small **labeled multigraphs** and union-building from paths
+//!   ([`lgraph`]), plus ASCII [`render`]ing of topology structures.
+
+pub mod canon;
+pub mod data_graph;
+pub mod fixtures;
+pub mod lgraph;
+pub mod paths;
+pub mod render;
+pub mod schema_graph;
+
+pub use canon::{canonical_code, is_isomorphic, CanonicalCode};
+pub use data_graph::{DataGraph, NodeId};
+pub use lgraph::{InstanceGraphBuilder, LGraph};
+pub use paths::{enumerate_pair_paths, paths_from, PairPaths, Path, PathSig};
+pub use schema_graph::SchemaGraph;

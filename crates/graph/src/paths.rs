@@ -1,0 +1,314 @@
+//! Simple-path enumeration: `PS(a, b, l)` from §2.1 of the paper.
+//!
+//! "A path is a sequence of consecutive edges ... A simple path is a path
+//! such that no node is traversed more than once. All paths mentioned in
+//! this paper are simple paths." Enumeration is a DFS over the data graph
+//! pruned by schema-level reachability: a partial path is extended along
+//! an edge only if the neighbour's entity set can still reach the target
+//! entity set within the remaining length budget. This visits exactly the
+//! prefixes of label walks the schema admits — the same work the paper's
+//! per-schema-path SQL queries do (§4.1), fused into one traversal.
+
+use std::collections::HashMap;
+
+use crate::data_graph::{DataGraph, NodeId};
+use crate::schema_graph::SchemaGraph;
+
+/// An instance-level simple path. `nodes.len() == rels.len() + 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Path {
+    /// Data-graph nodes along the path.
+    pub nodes: Vec<NodeId>,
+    /// Relationship-set ids along the path.
+    pub rels: Vec<u16>,
+}
+
+impl Path {
+    /// Path length in edges.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// True for a degenerate zero-edge path (never produced by the
+    /// enumerator, but kept total for callers constructing paths).
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// `(first, last)` node.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (
+            *self.nodes.first().expect("path has nodes"),
+            *self.nodes.last().expect("path has nodes"),
+        )
+    }
+
+    /// Label signature identifying the path's isomorphism class.
+    ///
+    /// A path's labeled graph is determined by its alternating
+    /// type/relationship label sequence, up to reversal; the signature is
+    /// the lexicographic minimum of the sequence and its reverse, so two
+    /// paths are isomorphic iff their signatures are equal (Definition 1's
+    /// equivalence classes reduce to signature equality for paths).
+    pub fn sig(&self, g: &DataGraph) -> PathSig {
+        let mut fwd = Vec::with_capacity(self.nodes.len() + self.rels.len());
+        for i in 0..self.rels.len() {
+            fwd.push(g.node_type(self.nodes[i]));
+            fwd.push(self.rels[i]);
+        }
+        fwd.push(g.node_type(*self.nodes.last().expect("path has nodes")));
+        let mut rev = fwd.clone();
+        rev.reverse();
+        PathSig(fwd.min(rev))
+    }
+
+    /// The path with nodes and rels reversed.
+    pub fn reversed(&self) -> Path {
+        let mut nodes = self.nodes.clone();
+        let mut rels = self.rels.clone();
+        nodes.reverse();
+        rels.reverse();
+        Path { nodes, rels }
+    }
+}
+
+/// Reversal-normalized label signature of a path (its equivalence class).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PathSig(pub Vec<u16>);
+
+impl PathSig {
+    /// Number of edges in paths of this class.
+    pub fn len(&self) -> usize {
+        self.0.len() / 2
+    }
+
+    /// True only for the degenerate empty signature.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+/// All simple paths of length 1..=`l` starting at `a` and ending at any
+/// node of entity set `to_es`. `reach` must be
+/// `schema.reach_table(to_es, l)`.
+pub fn paths_from(
+    g: &DataGraph,
+    reach: &[Vec<bool>],
+    a: NodeId,
+    to_es: u16,
+    l: usize,
+) -> Vec<Path> {
+    let mut out = Vec::new();
+    let mut nodes = vec![a];
+    let mut rels: Vec<u16> = Vec::new();
+    let mut on_path = HashMap::new();
+    on_path.insert(a, ());
+    dfs(g, reach, to_es, l, &mut nodes, &mut rels, &mut on_path, &mut out);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    g: &DataGraph,
+    reach: &[Vec<bool>],
+    to_es: u16,
+    l: usize,
+    nodes: &mut Vec<NodeId>,
+    rels: &mut Vec<u16>,
+    on_path: &mut HashMap<NodeId, ()>,
+    out: &mut Vec<Path>,
+) {
+    let cur = *nodes.last().expect("path non-empty");
+    if !rels.is_empty() && g.node_type(cur) == to_es {
+        out.push(Path { nodes: nodes.clone(), rels: rels.clone() });
+    }
+    if rels.len() == l {
+        return;
+    }
+    let remaining = l - rels.len();
+    for &(rid, next) in g.neighbors(cur) {
+        if on_path.contains_key(&next) {
+            continue;
+        }
+        if !reach[g.node_type(next) as usize][remaining - 1] {
+            continue;
+        }
+        nodes.push(next);
+        rels.push(rid);
+        on_path.insert(next, ());
+        dfs(g, reach, to_es, l, nodes, rels, on_path, out);
+        on_path.remove(&next);
+        nodes.pop();
+        rels.pop();
+    }
+}
+
+/// The `l`-path sets for every connected pair `(a, b)` with
+/// `type(a) = from_es`, `type(b) = to_es`: the union of `PS(a,b,l)` over
+/// all pairs, grouped by pair.
+#[derive(Debug, Clone, Default)]
+pub struct PairPaths {
+    /// `(a, b)` → paths from a to b. For `from_es == to_es`, keys are
+    /// normalized to `a < b` and each path is stored oriented a→b.
+    pub map: HashMap<(NodeId, NodeId), Vec<Path>>,
+}
+
+impl PairPaths {
+    /// Number of connected pairs.
+    pub fn pair_count(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Total number of paths.
+    pub fn path_count(&self) -> usize {
+        self.map.values().map(Vec::len).sum()
+    }
+
+    /// Pairs in deterministic order (sorted by node ids).
+    pub fn sorted_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut keys: Vec<_> = self.map.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+/// Enumerate the path sets between two entity sets.
+pub fn enumerate_pair_paths(
+    g: &DataGraph,
+    schema: &SchemaGraph,
+    from_es: u16,
+    to_es: u16,
+    l: usize,
+) -> PairPaths {
+    let reach = schema.reach_table(to_es, l);
+    let mut pp = PairPaths::default();
+    for &a in g.nodes_of_type(from_es) {
+        for path in paths_from(g, &reach, a, to_es, l) {
+            let (s, e) = path.endpoints();
+            debug_assert_eq!(s, a);
+            if from_es == to_es {
+                // Each undirected pair is discovered from both endpoints;
+                // keep the a < b orientation only.
+                if s > e {
+                    continue;
+                }
+            }
+            pp.map.entry((s, e)).or_default().push(path);
+        }
+    }
+    pp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure3;
+
+    #[test]
+    fn ps_78_215_3_matches_paper() {
+        // §2.2 Example: PS(78, 215, 3) = { l2, l3, l6 }.
+        let (db, g, schema) = figure3();
+        let _ = db;
+        let p78 = g.node(0, 78).unwrap();
+        let d215 = g.node(2, 215).unwrap();
+        let pp = enumerate_pair_paths(&g, &schema, 0, 2, 3);
+        let paths = &pp.map[&(p78, d215)];
+        assert_eq!(paths.len(), 3);
+        // Two of them share a signature (P-U-D via u103 and via u150), one
+        // is the length-3 P-U-P-D path.
+        let mut sigs: Vec<PathSig> = paths.iter().map(|p| p.sig(&g)).collect();
+        sigs.sort();
+        sigs.dedup();
+        assert_eq!(sigs.len(), 2);
+    }
+
+    #[test]
+    fn ps_44_742_3_has_two_isomorphic_paths() {
+        // §2.2 Example: PS(44, 742, 3) = { l4, l5 }, both isomorphic.
+        let (_db, g, schema) = figure3();
+        let p44 = g.node(0, 44).unwrap();
+        let d742 = g.node(2, 742).unwrap();
+        let pp = enumerate_pair_paths(&g, &schema, 0, 2, 3);
+        let paths = &pp.map[&(p44, d742)];
+        assert_eq!(paths.len(), 2);
+        assert_eq!(paths[0].sig(&g), paths[1].sig(&g));
+    }
+
+    #[test]
+    fn pair_32_214_has_direct_encode() {
+        let (_db, g, schema) = figure3();
+        let p32 = g.node(0, 32).unwrap();
+        let d214 = g.node(2, 214).unwrap();
+        let pp = enumerate_pair_paths(&g, &schema, 0, 2, 3);
+        let paths = &pp.map[&(p32, d214)];
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 1);
+    }
+
+    #[test]
+    fn signature_reversal_invariance() {
+        let (_db, g, schema) = figure3();
+        let pp = enumerate_pair_paths(&g, &schema, 0, 2, 3);
+        for paths in pp.map.values() {
+            for p in paths {
+                assert_eq!(p.sig(&g), p.reversed().sig(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_simple() {
+        let (_db, g, schema) = figure3();
+        let pp = enumerate_pair_paths(&g, &schema, 0, 2, 4);
+        for paths in pp.map.values() {
+            for p in paths {
+                let mut ns = p.nodes.clone();
+                ns.sort_unstable();
+                ns.dedup();
+                assert_eq!(ns.len(), p.nodes.len(), "path revisits a node: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_type_pairs_normalized() {
+        // Protein–Protein pairs through shared unigenes/DNAs.
+        let (_db, g, schema) = figure3();
+        let pp = enumerate_pair_paths(&g, &schema, 0, 0, 2);
+        for &(a, b) in pp.map.keys() {
+            assert!(a < b);
+        }
+        // p78 and p34 share u103: a P-U-P path must exist.
+        let p78 = g.node(0, 78).unwrap();
+        let p34 = g.node(0, 34).unwrap();
+        let key = (p78.min(p34), p78.max(p34));
+        assert!(pp.map.contains_key(&key));
+    }
+
+    #[test]
+    fn length_limit_respected() {
+        let (_db, g, schema) = figure3();
+        for l in 1..=4 {
+            let pp = enumerate_pair_paths(&g, &schema, 0, 2, l);
+            for paths in pp.map.values() {
+                for p in paths {
+                    assert!(p.len() <= l);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn longer_limit_never_loses_paths() {
+        let (_db, g, schema) = figure3();
+        let pp3 = enumerate_pair_paths(&g, &schema, 0, 2, 3);
+        let pp4 = enumerate_pair_paths(&g, &schema, 0, 2, 4);
+        assert!(pp4.path_count() >= pp3.path_count());
+        for (pair, paths) in &pp3.map {
+            let sup = &pp4.map[pair];
+            for p in paths {
+                assert!(sup.contains(p));
+            }
+        }
+    }
+}

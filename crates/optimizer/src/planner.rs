@@ -1,0 +1,506 @@
+//! System-R style join-order planning with the early-termination property
+//! (§5.4.1 of the paper).
+//!
+//! The classic bottom-up dynamic program enumerates left-deep join orders
+//! and keeps, for every subset of relations, the least-cost plan for each
+//! *interesting property*. Besides the usual interesting order we track
+//! the paper's new property: **early termination** — the plan preserves
+//! group order end-to-end *and* every operator above the group source
+//! supports `advance_to_next_group` (i.e. is a DGJ operator). At the
+//! root, an ET-capable plan may be re-priced with the Theorem-1 model
+//! ([`crate::cost::et_stack_cost`]) when a top-k target is given; the
+//! cheaper of the best regular plan and the best ET plan wins — that
+//! choice *is* `Fast-Top-k-Opt` / `Full-Top-k-Opt`.
+
+use crate::cost::{et_stack_cost, DgjOpParams, DgjStackParams};
+
+/// A base relation with its statistics.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Display name.
+    pub name: String,
+    /// Cardinality `N_i`.
+    pub card: f64,
+    /// Local predicate selectivity `ρ_i`.
+    pub sel: f64,
+    /// Cost of one index probe `I_i`; `None` when the join column has no
+    /// index (index-based joins are then inapplicable).
+    pub probe_cost: Option<f64>,
+    /// True if scanning this relation yields group-ordered output (the
+    /// TopInfo-by-score stream in topology plans).
+    pub group_source: bool,
+}
+
+/// An equi-join edge between two relations with its selectivity `s_i`.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinEdge {
+    /// First relation index.
+    pub a: usize,
+    /// Second relation index.
+    pub b: usize,
+    /// Join selectivity.
+    pub sel: f64,
+}
+
+/// The query: relations, join edges, and the number of groups flowing out
+/// of the group source (topologies in score order).
+#[derive(Debug, Clone)]
+pub struct JoinGraph {
+    /// Base relations.
+    pub relations: Vec<Relation>,
+    /// Join edges.
+    pub edges: Vec<JoinEdge>,
+    /// Number of groups produced by the group source (`m` in the paper).
+    pub group_count: f64,
+}
+
+/// Physical join algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Regular hash join (build inner once). Destroys group order.
+    Hash,
+    /// Regular index nested loops. Preserves order, cannot skip groups.
+    IndexNl,
+    /// Index nested-loops DGJ (order + skip).
+    Idgj,
+    /// Hash DGJ (order + skip, inner re-evaluated per group).
+    Hdgj,
+}
+
+/// Properties tracked as "interesting" during DP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanProps {
+    /// Output clustered in the group order of the group source.
+    pub group_ordered: bool,
+    /// Every operator above the group source supports group skipping.
+    pub early_term: bool,
+}
+
+/// A left-deep physical plan.
+#[derive(Debug, Clone)]
+pub enum PhysicalPlan {
+    /// Leaf scan of a base relation (predicate applied).
+    Scan {
+        /// Relation index.
+        rel: usize,
+    },
+    /// Join of a left subplan with a base relation.
+    Join {
+        /// Join algorithm.
+        algo: JoinAlgo,
+        /// Outer subplan.
+        left: Box<PhysicalPlan>,
+        /// Inner base relation index.
+        right: usize,
+    },
+}
+
+impl PhysicalPlan {
+    /// One-line explain string, e.g. `HDGJ(IDGJ(TopInfo, LeftTops), Protein)`.
+    pub fn explain(&self, jg: &JoinGraph) -> String {
+        match self {
+            PhysicalPlan::Scan { rel } => jg.relations[*rel].name.clone(),
+            PhysicalPlan::Join { algo, left, right } => {
+                let a = match algo {
+                    JoinAlgo::Hash => "HASH",
+                    JoinAlgo::IndexNl => "INL",
+                    JoinAlgo::Idgj => "IDGJ",
+                    JoinAlgo::Hdgj => "HDGJ",
+                };
+                format!("{}({}, {})", a, left.explain(jg), jg.relations[*right].name)
+            }
+        }
+    }
+
+    /// The join chain bottom-up: `(algo, relation)` per level.
+    pub fn chain(&self) -> Vec<(JoinAlgo, usize)> {
+        match self {
+            PhysicalPlan::Scan { .. } => Vec::new(),
+            PhysicalPlan::Join { algo, left, right } => {
+                let mut c = left.chain();
+                c.push((*algo, *right));
+                c
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    plan: PhysicalPlan,
+    cost: f64,
+    out_card: f64,
+    props: PlanProps,
+}
+
+/// The planner's decision: the winning plan plus its estimated cost, and
+/// whether the Theorem-1 early-termination pricing was the reason.
+#[derive(Debug, Clone)]
+pub struct PlanChoice {
+    /// Winning physical plan.
+    pub plan: PhysicalPlan,
+    /// Estimated cost of the winner.
+    pub cost: f64,
+    /// True if the winner was priced with the ET model.
+    pub used_early_termination: bool,
+}
+
+/// Run the DP. `topk` enables Theorem-1 pricing of ET-capable roots.
+///
+/// Relations must form a connected join graph; the group source (if any)
+/// is forced to be the leftmost (outer-most) relation of ET plans, since
+/// group order can only originate there.
+pub fn plan_join_order(jg: &JoinGraph, topk: Option<usize>) -> PlanChoice {
+    let n = jg.relations.len();
+    assert!((1..=16).contains(&n), "planner supports 1..=16 relations");
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+
+    // best[mask] -> list of non-dominated candidates (by props).
+    let mut best: Vec<Vec<Candidate>> = vec![Vec::new(); (full as usize) + 1];
+
+    for (i, rel) in jg.relations.iter().enumerate() {
+        let props = PlanProps { group_ordered: rel.group_source, early_term: rel.group_source };
+        offer(
+            &mut best[1usize << i],
+            Candidate {
+                plan: PhysicalPlan::Scan { rel: i },
+                cost: rel.card,
+                out_card: (rel.card * rel.sel).max(1e-9),
+                props,
+            },
+        );
+    }
+
+    for mask in 1..=full {
+        if best[mask as usize].is_empty() {
+            continue;
+        }
+        let lefts = best[mask as usize].clone();
+        for right in 0..n {
+            if mask & (1 << right) != 0 {
+                continue;
+            }
+            let Some(edge_sel) = connecting_sel(jg, mask, right) else { continue };
+            let rel = &jg.relations[right];
+            let right_out = (rel.card * rel.sel).max(1e-9);
+            for left in &lefts {
+                let out_card = (left.out_card * right_out * edge_sel).max(1e-9);
+                let matches_per_tuple = (rel.card * edge_sel).max(0.0);
+                // Hash join: build inner once, probe with outer.
+                offer(
+                    &mut best[(mask | (1 << right)) as usize],
+                    Candidate {
+                        plan: PhysicalPlan::Join {
+                            algo: JoinAlgo::Hash,
+                            left: Box::new(left.plan.clone()),
+                            right,
+                        },
+                        cost: left.cost + rel.card + left.out_card + out_card,
+                        out_card,
+                        props: PlanProps { group_ordered: false, early_term: false },
+                    },
+                );
+                // Index-based joins need an index on the join column.
+                if let Some(probe) = rel.probe_cost {
+                    let inl_cost =
+                        left.cost + left.out_card * (probe + matches_per_tuple) + out_card;
+                    offer(
+                        &mut best[(mask | (1 << right)) as usize],
+                        Candidate {
+                            plan: PhysicalPlan::Join {
+                                algo: JoinAlgo::IndexNl,
+                                left: Box::new(left.plan.clone()),
+                                right,
+                            },
+                            cost: inl_cost,
+                            out_card,
+                            props: PlanProps {
+                                group_ordered: left.props.group_ordered,
+                                early_term: false,
+                            },
+                        },
+                    );
+                    if left.props.early_term {
+                        offer(
+                            &mut best[(mask | (1 << right)) as usize],
+                            Candidate {
+                                plan: PhysicalPlan::Join {
+                                    algo: JoinAlgo::Idgj,
+                                    left: Box::new(left.plan.clone()),
+                                    right,
+                                },
+                                cost: inl_cost,
+                                out_card,
+                                props: PlanProps { group_ordered: true, early_term: true },
+                            },
+                        );
+                    }
+                }
+                // HDGJ: order-preserving hash, inner re-scanned per group.
+                if left.props.early_term {
+                    offer(
+                        &mut best[(mask | (1 << right)) as usize],
+                        Candidate {
+                            plan: PhysicalPlan::Join {
+                                algo: JoinAlgo::Hdgj,
+                                left: Box::new(left.plan.clone()),
+                                right,
+                            },
+                            cost: left.cost + jg.group_count * rel.card + left.out_card + out_card,
+                            out_card,
+                            props: PlanProps { group_ordered: true, early_term: true },
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // Root choice: best regular (full-evaluation) plan vs best ET plan.
+    let roots = &best[full as usize];
+    assert!(!roots.is_empty(), "join graph must be connected");
+    let best_regular = roots
+        .iter()
+        .min_by(|a, b| a.cost.total_cmp(&b.cost))
+        .expect("non-empty");
+    let best_et = roots
+        .iter()
+        .filter(|c| c.props.early_term)
+        .min_by(|a, b| a.cost.total_cmp(&b.cost));
+
+    match (topk, best_et) {
+        (Some(k), Some(et)) => {
+            let et_cost = price_et(jg, &et.plan, k);
+            if et_cost < best_regular.cost {
+                PlanChoice { plan: et.plan.clone(), cost: et_cost, used_early_termination: true }
+            } else {
+                PlanChoice {
+                    plan: best_regular.plan.clone(),
+                    cost: best_regular.cost,
+                    used_early_termination: false,
+                }
+            }
+        }
+        _ => PlanChoice {
+            plan: best_regular.plan.clone(),
+            cost: best_regular.cost,
+            used_early_termination: false,
+        },
+    }
+}
+
+/// Price an ET-capable plan with Theorem 1, deriving per-operator
+/// parameters from the join chain (uniform group sizes).
+fn price_et(jg: &JoinGraph, plan: &PhysicalPlan, k: usize) -> f64 {
+    let chain = plan.chain();
+    let source_out = match base_relation(plan) {
+        Some(i) => (jg.relations[i].card * jg.relations[i].sel).max(1.0),
+        None => return f64::INFINITY,
+    };
+    let m = jg.group_count.max(1.0);
+    let card_per_group = (source_out / m).max(1.0);
+    let mut ops = Vec::with_capacity(chain.len());
+    let mut prev = base_relation(plan).expect("checked");
+    for (algo, right) in chain {
+        let rel = &jg.relations[right];
+        let sel = connecting_sel(jg, 1 << prev, right).unwrap_or(1e-9);
+        let probe = match algo {
+            JoinAlgo::Hdgj => rel.card, // per-group rescan amortized as the probe
+            _ => rel.probe_cost.unwrap_or(1.0),
+        };
+        ops.push(DgjOpParams { fanout: (rel.card * sel).max(1e-9), rho: rel.sel, probe_cost: probe });
+        prev = right;
+    }
+    let groups = vec![card_per_group; m as usize];
+    source_out.mul_add(0.0, et_stack_cost(&DgjStackParams { ops, groups }, k))
+        + jg.relations[base_relation(plan).expect("checked")].card // initial scan
+}
+
+fn base_relation(plan: &PhysicalPlan) -> Option<usize> {
+    match plan {
+        PhysicalPlan::Scan { rel } => Some(*rel),
+        PhysicalPlan::Join { left, .. } => base_relation(left),
+    }
+}
+
+/// Selectivity connecting `right` to any relation in `mask` (product over
+/// all applicable edges; `None` when disconnected — avoids cross joins).
+fn connecting_sel(jg: &JoinGraph, mask: u32, right: usize) -> Option<f64> {
+    let mut sel = 1.0;
+    let mut connected = false;
+    for e in &jg.edges {
+        let (x, y) = (e.a, e.b);
+        if (x == right && mask & (1 << y) != 0) || (y == right && mask & (1 << x) != 0) {
+            sel *= e.sel;
+            connected = true;
+        }
+    }
+    connected.then_some(sel)
+}
+
+/// Keep only non-dominated candidates: one best plan per property combo,
+/// and drop any candidate beaten in both cost and properties.
+fn offer(slot: &mut Vec<Candidate>, cand: Candidate) {
+    if let Some(existing) =
+        slot.iter_mut().find(|c| c.props == cand.props)
+    {
+        if cand.cost < existing.cost {
+            *existing = cand;
+        }
+        return;
+    }
+    slot.push(cand);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Topology-query shaped graph: TopInfo (group source) — LeftTops —
+    /// Protein — DNA. Mirrors Fig. 15 of the paper.
+    fn topology_graph(protein_sel: f64, dna_sel: f64) -> JoinGraph {
+        JoinGraph {
+            relations: vec![
+                Relation {
+                    name: "TopInfo".into(),
+                    card: 200.0,
+                    sel: 1.0,
+                    probe_cost: Some(1.0),
+                    group_source: true,
+                },
+                Relation {
+                    name: "LeftTops".into(),
+                    card: 100_000.0,
+                    sel: 1.0,
+                    probe_cost: Some(1.0),
+                    group_source: false,
+                },
+                Relation {
+                    name: "Protein".into(),
+                    card: 20_000.0,
+                    sel: protein_sel,
+                    probe_cost: Some(1.0),
+                    group_source: false,
+                },
+                Relation {
+                    name: "DNA".into(),
+                    card: 30_000.0,
+                    sel: dna_sel,
+                    probe_cost: Some(1.0),
+                    group_source: false,
+                },
+            ],
+            edges: vec![
+                JoinEdge { a: 0, b: 1, sel: 1.0 / 200.0 },
+                JoinEdge { a: 1, b: 2, sel: 1.0 / 20_000.0 },
+                JoinEdge { a: 1, b: 3, sel: 1.0 / 30_000.0 },
+            ],
+            group_count: 200.0,
+        }
+    }
+
+    #[test]
+    fn unselective_topk_prefers_et() {
+        let jg = topology_graph(0.85, 0.85);
+        let choice = plan_join_order(&jg, Some(10));
+        assert!(
+            choice.used_early_termination,
+            "expected ET plan for unselective predicates, got {} at cost {}",
+            choice.plan.explain(&jg),
+            choice.cost
+        );
+    }
+
+    #[test]
+    fn selective_topk_prefers_regular() {
+        let jg = topology_graph(0.0005, 0.0005);
+        let choice = plan_join_order(&jg, Some(10));
+        assert!(
+            !choice.used_early_termination,
+            "expected regular plan for selective predicates, got {}",
+            choice.plan.explain(&jg)
+        );
+    }
+
+    #[test]
+    fn no_topk_never_uses_et() {
+        let jg = topology_graph(0.85, 0.85);
+        let choice = plan_join_order(&jg, None);
+        assert!(!choice.used_early_termination);
+    }
+
+    #[test]
+    fn et_plans_start_at_group_source() {
+        let jg = topology_graph(0.85, 0.85);
+        let choice = plan_join_order(&jg, Some(5));
+        if choice.used_early_termination {
+            assert_eq!(base_relation(&choice.plan), Some(0), "ET plan must scan TopInfo first");
+        }
+    }
+
+    #[test]
+    fn two_relation_plan() {
+        let jg = JoinGraph {
+            relations: vec![
+                Relation {
+                    name: "A".into(),
+                    card: 10.0,
+                    sel: 1.0,
+                    probe_cost: None,
+                    group_source: false,
+                },
+                Relation {
+                    name: "B".into(),
+                    card: 1000.0,
+                    sel: 0.5,
+                    probe_cost: Some(1.0),
+                    group_source: false,
+                },
+            ],
+            edges: vec![JoinEdge { a: 0, b: 1, sel: 0.001 }],
+            group_count: 1.0,
+        };
+        let choice = plan_join_order(&jg, None);
+        // Index NL (10 probes) should beat hash (build 1000).
+        let explain = choice.plan.explain(&jg);
+        assert!(explain.contains("INL"), "got {explain}");
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn disconnected_graph_panics() {
+        let jg = JoinGraph {
+            relations: vec![
+                Relation { name: "A".into(), card: 1.0, sel: 1.0, probe_cost: None, group_source: false },
+                Relation { name: "B".into(), card: 1.0, sel: 1.0, probe_cost: None, group_source: false },
+            ],
+            edges: vec![],
+            group_count: 1.0,
+        };
+        let _ = plan_join_order(&jg, None);
+    }
+
+    #[test]
+    fn explain_renders_chain() {
+        let jg = topology_graph(0.5, 0.5);
+        let choice = plan_join_order(&jg, Some(10));
+        let s = choice.plan.explain(&jg);
+        assert!(s.contains("TopInfo") || s.contains("LeftTops"));
+        assert!(s.contains('('));
+    }
+
+    #[test]
+    fn chain_lists_joins_bottom_up() {
+        let plan = PhysicalPlan::Join {
+            algo: JoinAlgo::Idgj,
+            left: Box::new(PhysicalPlan::Join {
+                algo: JoinAlgo::Hash,
+                left: Box::new(PhysicalPlan::Scan { rel: 0 }),
+                right: 1,
+            }),
+            right: 2,
+        };
+        let chain = plan.chain();
+        assert_eq!(chain, vec![(JoinAlgo::Hash, 1), (JoinAlgo::Idgj, 2)]);
+    }
+}

@@ -1,0 +1,271 @@
+//! The database: a catalog of tables plus the Entity–Relationship schema.
+//!
+//! §2.1 of the paper models the database as entity sets and binary
+//! relationship sets, "logically ... a large (undirected) data graph".
+//! [`Database`] keeps both views: the relational tables (Fig. 3) and the
+//! ER-level declarations (Fig. 1) that `ts-graph` turns into the schema
+//! graph and data graph (Fig. 6).
+
+use std::collections::HashMap;
+
+use crate::error::StorageError;
+use crate::schema::{ColumnId, TableId, TableSchema};
+use crate::table::Table;
+
+/// Identifier of an entity set (e.g. Protein, DNA) within the ER schema.
+pub type EntitySetId = usize;
+/// Identifier of a relationship set (e.g. encodes) within the ER schema.
+pub type RelSetId = usize;
+
+/// Declaration of an entity set: a table whose primary key identifies the
+/// entities of this type.
+#[derive(Debug, Clone)]
+pub struct EntitySetDef {
+    /// Entity set name ("Protein").
+    pub name: String,
+    /// Backing table.
+    pub table: TableId,
+}
+
+/// Declaration of a binary relationship set between two entity sets,
+/// backed by a two-foreign-key table. Relationships are undirected
+/// (the paper: "each relationship can be reversed"); `from`/`to` only fix
+/// which column refers to which entity set.
+#[derive(Debug, Clone)]
+pub struct RelSetDef {
+    /// Relationship set name ("encodes").
+    pub name: String,
+    /// Backing table.
+    pub table: TableId,
+    /// Entity set referenced by `from_col`.
+    pub from: EntitySetId,
+    /// Entity set referenced by `to_col`.
+    pub to: EntitySetId,
+    /// Column of `table` holding the `from` entity id.
+    pub from_col: ColumnId,
+    /// Column of `table` holding the `to` entity id.
+    pub to_col: ColumnId,
+}
+
+/// An in-memory database: named tables plus the ER schema overlay.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: Vec<Table>,
+    names: HashMap<String, TableId>,
+    entity_sets: Vec<EntitySetDef>,
+    rel_sets: Vec<RelSetDef>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a table; returns its id. Fails on duplicate names.
+    pub fn create_table(&mut self, schema: TableSchema) -> Result<TableId, StorageError> {
+        if self.names.contains_key(&schema.name) {
+            return Err(StorageError::BadDefinition(format!(
+                "table {} already exists",
+                schema.name
+            )));
+        }
+        let id = self.tables.len();
+        self.names.insert(schema.name.clone(), id);
+        self.tables.push(Table::new(schema));
+        Ok(id)
+    }
+
+    /// Table by id.
+    pub fn table(&self, id: TableId) -> &Table {
+        &self.tables[id]
+    }
+
+    /// Mutable table by id.
+    pub fn table_mut(&mut self, id: TableId) -> &mut Table {
+        &mut self.tables[id]
+    }
+
+    /// Table id by name.
+    pub fn table_id(&self, name: &str) -> Result<TableId, StorageError> {
+        self.names
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+    }
+
+    /// Table by name.
+    pub fn table_by_name(&self, name: &str) -> Result<&Table, StorageError> {
+        Ok(self.table(self.table_id(name)?))
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Declare an entity set backed by `table` (which must have a PK).
+    pub fn declare_entity_set(
+        &mut self,
+        name: impl Into<String>,
+        table: TableId,
+    ) -> Result<EntitySetId, StorageError> {
+        let name = name.into();
+        if self.tables[table].schema().primary_key.is_none() {
+            return Err(StorageError::BadDefinition(format!(
+                "entity set {name}: backing table has no primary key"
+            )));
+        }
+        if self.entity_sets.iter().any(|e| e.name == name) {
+            return Err(StorageError::BadDefinition(format!("entity set {name} already exists")));
+        }
+        let id = self.entity_sets.len();
+        self.entity_sets.push(EntitySetDef { name, table });
+        Ok(id)
+    }
+
+    /// Declare a relationship set.
+    pub fn declare_rel_set(
+        &mut self,
+        name: impl Into<String>,
+        table: TableId,
+        from: EntitySetId,
+        from_col: ColumnId,
+        to: EntitySetId,
+        to_col: ColumnId,
+    ) -> Result<RelSetId, StorageError> {
+        let name = name.into();
+        let arity = self.tables[table].schema().arity();
+        if from_col >= arity || to_col >= arity {
+            return Err(StorageError::BadDefinition(format!(
+                "relationship set {name}: fk column out of range"
+            )));
+        }
+        if from >= self.entity_sets.len() || to >= self.entity_sets.len() {
+            return Err(StorageError::BadDefinition(format!(
+                "relationship set {name}: unknown entity set"
+            )));
+        }
+        let id = self.rel_sets.len();
+        self.rel_sets.push(RelSetDef { name, table, from, to, from_col, to_col });
+        Ok(id)
+    }
+
+    /// All entity set declarations.
+    pub fn entity_sets(&self) -> &[EntitySetDef] {
+        &self.entity_sets
+    }
+
+    /// All relationship set declarations.
+    pub fn rel_sets(&self) -> &[RelSetDef] {
+        &self.rel_sets
+    }
+
+    /// Entity set by name.
+    pub fn entity_set_id(&self, name: &str) -> Option<EntitySetId> {
+        self.entity_sets.iter().position(|e| e.name == name)
+    }
+
+    /// Entity set definition.
+    pub fn entity_set(&self, id: EntitySetId) -> &EntitySetDef {
+        &self.entity_sets[id]
+    }
+
+    /// Relationship set definition.
+    pub fn rel_set(&self, id: RelSetId) -> &RelSetDef {
+        &self.rel_sets[id]
+    }
+
+    /// Run `analyze` on every table.
+    pub fn analyze_all(&mut self) {
+        for t in &mut self.tables {
+            t.analyze();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::ColumnDef;
+    use crate::value::ValueType;
+
+    fn tiny_db() -> Database {
+        let mut db = Database::new();
+        let protein = db
+            .create_table(TableSchema::new(
+                "Protein",
+                vec![ColumnDef::new("ID", ValueType::Int), ColumnDef::new("desc", ValueType::Str)],
+                Some(0),
+            ))
+            .unwrap();
+        let dna = db
+            .create_table(TableSchema::new(
+                "DNA",
+                vec![ColumnDef::new("ID", ValueType::Int), ColumnDef::new("type", ValueType::Str)],
+                Some(0),
+            ))
+            .unwrap();
+        let encodes = db
+            .create_table(TableSchema::new(
+                "Encodes",
+                vec![ColumnDef::new("PID", ValueType::Int), ColumnDef::new("DID", ValueType::Int)],
+                None,
+            ))
+            .unwrap();
+        let p = db.declare_entity_set("Protein", protein).unwrap();
+        let d = db.declare_entity_set("DNA", dna).unwrap();
+        db.declare_rel_set("encodes", encodes, p, 0, d, 1).unwrap();
+        db.table_mut(protein).insert(row![32i64, "enzyme UBCi"]).unwrap();
+        db.table_mut(dna).insert(row![214i64, "mRNA"]).unwrap();
+        db.table_mut(encodes).insert(row![32i64, 214i64]).unwrap();
+        db
+    }
+
+    #[test]
+    fn catalog_lookup() {
+        let db = tiny_db();
+        assert_eq!(db.table_count(), 3);
+        assert_eq!(db.table_by_name("Protein").unwrap().len(), 1);
+        assert!(db.table_id("Nope").is_err());
+        assert_eq!(db.entity_set_id("DNA"), Some(1));
+        assert_eq!(db.rel_sets().len(), 1);
+        let r = db.rel_set(0);
+        assert_eq!(r.name, "encodes");
+        assert_eq!((r.from, r.to), (0, 1));
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = tiny_db();
+        let err = db
+            .create_table(TableSchema::new("Protein", vec![ColumnDef::new("x", ValueType::Int)], None))
+            .unwrap_err();
+        assert!(matches!(err, StorageError::BadDefinition(_)));
+    }
+
+    #[test]
+    fn entity_set_requires_pk() {
+        let mut db = Database::new();
+        let t = db
+            .create_table(TableSchema::new("NoPk", vec![ColumnDef::new("a", ValueType::Int)], None))
+            .unwrap();
+        assert!(db.declare_entity_set("NoPk", t).is_err());
+    }
+
+    #[test]
+    fn rel_set_validates_columns_and_sets() {
+        let mut db = tiny_db();
+        let enc = db.table_id("Encodes").unwrap();
+        assert!(db.declare_rel_set("bad", enc, 0, 9, 1, 1).is_err());
+        assert!(db.declare_rel_set("bad", enc, 7, 0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn analyze_all_populates_stats() {
+        let mut db = tiny_db();
+        db.analyze_all();
+        assert!(db.table_by_name("Protein").unwrap().stats().is_some());
+    }
+}

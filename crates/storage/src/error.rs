@@ -1,0 +1,42 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the relational substrate.
+///
+/// The engine is strict: schema violations are reported, never papered
+/// over, because the topology catalog build (ts-core) depends on the base
+/// data being exactly what the generator declared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A table name was not found in the database catalog.
+    NoSuchTable(String),
+    /// A column name was not found in a table schema.
+    NoSuchColumn { table: String, column: String },
+    /// A row's arity or value types do not match the table schema.
+    SchemaMismatch { table: String, detail: String },
+    /// A duplicate primary key was inserted.
+    DuplicateKey { table: String, key: String },
+    /// An entity or relationship set definition is inconsistent.
+    BadDefinition(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            StorageError::NoSuchColumn { table, column } => {
+                write!(f, "no such column {column} in table {table}")
+            }
+            StorageError::SchemaMismatch { table, detail } => {
+                write!(f, "schema mismatch in table {table}: {detail}")
+            }
+            StorageError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key {key} in table {table}")
+            }
+            StorageError::BadDefinition(d) => write!(f, "bad definition: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}

@@ -1,0 +1,40 @@
+//! # ts-storage
+//!
+//! The in-memory relational substrate underneath topology search.
+//!
+//! The paper ("Topology Search over Biological Databases") runs its methods
+//! on IBM DB2 / SQL Server; this crate is our from-scratch replacement: a
+//! small but complete relational engine with
+//!
+//! * typed [`Value`]s and [`Row`]s,
+//! * [`Table`]s with primary-key and secondary hash [`index`]es,
+//! * composable [`Predicate`]s, including the paper's keyword-containment
+//!   predicate (`desc.ct('enzyme')`) and structured equality predicates,
+//! * catalog [`stats`] (cardinalities, distinct counts, keyword document
+//!   frequencies) used by the System-R style optimizer in `ts-optimizer`,
+//! * a [`Database`] that also carries the Entity–Relationship schema
+//!   (entity sets and binary relationship sets, §2.1 of the paper) from
+//!   which `ts-graph` builds the data graph.
+//!
+//! Everything is deliberately simple, deterministic and allocation-aware;
+//! the point is a faithful, inspectable substrate, not a general DBMS.
+
+pub mod db;
+pub mod error;
+pub mod index;
+pub mod predicate;
+pub mod row;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use db::{Database, EntitySetDef, EntitySetId, RelSetDef, RelSetId};
+pub use error::StorageError;
+pub use index::HashIndex;
+pub use predicate::Predicate;
+pub use row::{Row, RowId};
+pub use schema::{ColumnDef, ColumnId, TableId, TableSchema};
+pub use stats::{ColumnStats, TableStats};
+pub use table::Table;
+pub use value::{Value, ValueType};

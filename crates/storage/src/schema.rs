@@ -1,0 +1,97 @@
+//! Table schemas.
+
+use crate::value::ValueType;
+
+/// Identifier of a table within a [`crate::Database`].
+pub type TableId = usize;
+/// Identifier of a column within a table.
+pub type ColumnId = usize;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (case-sensitive).
+    pub name: String,
+    /// Column type.
+    pub ty: ValueType,
+}
+
+impl ColumnDef {
+    /// Shorthand constructor.
+    pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
+        ColumnDef { name: name.into(), ty }
+    }
+}
+
+/// Schema of one table: a name, ordered columns, and an optional
+/// single-column primary key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name (unique within a database).
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<ColumnDef>,
+    /// Index of the primary-key column, if any.
+    pub primary_key: Option<ColumnId>,
+}
+
+impl TableSchema {
+    /// Build a schema. `primary_key` refers to a column index.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<ColumnDef>,
+        primary_key: Option<ColumnId>,
+    ) -> Self {
+        let schema = TableSchema { name: name.into(), columns, primary_key };
+        if let Some(pk) = schema.primary_key {
+            assert!(pk < schema.columns.len(), "primary key column out of range");
+        }
+        schema
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Resolve a column name to its index.
+    pub fn column_id(&self, name: &str) -> Option<ColumnId> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Column type accessor.
+    pub fn column_type(&self, id: ColumnId) -> ValueType {
+        self.columns[id].ty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn protein_schema() -> TableSchema {
+        TableSchema::new(
+            "Protein",
+            vec![
+                ColumnDef::new("ID", ValueType::Int),
+                ColumnDef::new("desc", ValueType::Str),
+            ],
+            Some(0),
+        )
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let s = protein_schema();
+        assert_eq!(s.column_id("desc"), Some(1));
+        assert_eq!(s.column_id("nope"), None);
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.column_type(0), ValueType::Int);
+    }
+
+    #[test]
+    #[should_panic(expected = "primary key column out of range")]
+    fn pk_out_of_range_panics() {
+        TableSchema::new("T", vec![ColumnDef::new("a", ValueType::Int)], Some(3));
+    }
+}

@@ -1,0 +1,284 @@
+//! Tables: rows + indexes + statistics.
+
+use std::collections::HashMap;
+
+use crate::error::StorageError;
+use crate::index::HashIndex;
+use crate::predicate::Predicate;
+use crate::row::{Row, RowId};
+use crate::schema::{ColumnId, TableSchema};
+use crate::stats::TableStats;
+use crate::value::Value;
+
+/// A heap of rows with a schema, optional unique primary-key index,
+/// secondary hash indexes, and lazily refreshed statistics.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Row>,
+    /// Unique index on the primary-key column, if the schema declares one.
+    pk_index: Option<HashIndex>,
+    /// Secondary (non-unique) indexes by column.
+    secondary: HashMap<ColumnId, HashIndex>,
+    /// Cached statistics; `None` until [`Table::analyze`] runs.
+    stats: Option<TableStats>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        let pk_index = schema.primary_key.map(|_| HashIndex::new());
+        Table { schema, rows: Vec::new(), pk_index, secondary: HashMap::new(), stats: None }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Row by id.
+    pub fn row(&self, id: RowId) -> &Row {
+        &self.rows[id as usize]
+    }
+
+    /// Insert a row, maintaining indexes. Rejects arity mismatches, type
+    /// mismatches on non-null values, and duplicate primary keys.
+    pub fn insert(&mut self, row: Row) -> Result<RowId, StorageError> {
+        if row.arity() != self.schema.arity() {
+            return Err(StorageError::SchemaMismatch {
+                table: self.schema.name.clone(),
+                detail: format!("arity {} != {}", row.arity(), self.schema.arity()),
+            });
+        }
+        for (c, v) in row.values().enumerate() {
+            if let Some(ty) = v.value_type() {
+                if ty != self.schema.column_type(c) {
+                    return Err(StorageError::SchemaMismatch {
+                        table: self.schema.name.clone(),
+                        detail: format!("column {} expects {:?}, got {v:?}", c, self.schema.column_type(c)),
+                    });
+                }
+            }
+        }
+        let id = self.rows.len() as RowId;
+        if let (Some(pk_col), Some(pk_index)) = (self.schema.primary_key, self.pk_index.as_mut()) {
+            let key = row.get(pk_col);
+            if !pk_index.probe(key).is_empty() {
+                return Err(StorageError::DuplicateKey {
+                    table: self.schema.name.clone(),
+                    key: key.to_string(),
+                });
+            }
+            pk_index.insert(key.clone(), id);
+        }
+        for (&col, idx) in self.secondary.iter_mut() {
+            idx.insert(row.get(col).clone(), id);
+        }
+        self.rows.push(row);
+        self.stats = None;
+        Ok(id)
+    }
+
+    /// Build (or rebuild) a secondary hash index on `col`.
+    pub fn create_index(&mut self, col: ColumnId) {
+        let mut idx = HashIndex::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            idx.insert(row.get(col).clone(), i as RowId);
+        }
+        self.secondary.insert(col, idx);
+    }
+
+    /// Look up rows by primary key.
+    pub fn by_pk(&self, key: &Value) -> Option<&Row> {
+        let pk_index = self.pk_index.as_ref()?;
+        pk_index.probe(key).first().map(|&id| self.row(id))
+    }
+
+    /// Row id (not row) by primary key.
+    pub fn rowid_by_pk(&self, key: &Value) -> Option<RowId> {
+        self.pk_index.as_ref()?.probe(key).first().copied()
+    }
+
+    /// Probe a secondary index (must exist) for row ids matching `key`.
+    pub fn index_probe(&self, col: ColumnId, key: &Value) -> &[RowId] {
+        self.secondary
+            .get(&col)
+            .unwrap_or_else(|| panic!("no index on column {col} of {}", self.schema.name))
+            .probe(key)
+    }
+
+    /// True if a secondary index exists on `col`.
+    pub fn has_index(&self, col: ColumnId) -> bool {
+        self.secondary.contains_key(&col)
+            || self.schema.primary_key == Some(col)
+    }
+
+    /// Sequential scan with a predicate; returns matching row ids.
+    pub fn scan(&self, pred: &Predicate) -> Vec<RowId> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| pred.eval(r))
+            .map(|(i, _)| i as RowId)
+            .collect()
+    }
+
+    /// Refresh statistics (one pass). Idempotent until the next insert.
+    pub fn analyze(&mut self) -> &TableStats {
+        if self.stats.is_none() {
+            self.stats = Some(TableStats::collect(&self.schema, &self.rows));
+        }
+        self.stats.as_ref().expect("just set")
+    }
+
+    /// Cached statistics, if [`Table::analyze`] has run since the last insert.
+    pub fn stats(&self) -> Option<&TableStats> {
+        self.stats.as_ref()
+    }
+
+    /// Approximate heap footprint of rows + indexes, in bytes. This is the
+    /// quantity reported in the Table 1 space-requirement reproduction.
+    pub fn heap_size(&self) -> usize {
+        let rows: usize = self.rows.iter().map(Row::heap_size).sum();
+        let pk = self.pk_index.as_ref().map(HashIndex::heap_size).unwrap_or(0);
+        let sec: usize = self.secondary.values().map(HashIndex::heap_size).sum();
+        rows + pk + sec
+    }
+
+    /// Sort rows by a column (ascending) and rebuild all indexes.
+    ///
+    /// Catalog tables (LeftTops) are stored grouped by topology id so DGJ
+    /// group scans are contiguous; this is the clustering step.
+    pub fn sort_by_column(&mut self, col: ColumnId) {
+        self.rows.sort_by(|a, b| a.get(col).cmp(b.get(col)));
+        if let Some(pk_col) = self.schema.primary_key {
+            let mut idx = HashIndex::new();
+            for (i, row) in self.rows.iter().enumerate() {
+                idx.insert(row.get(pk_col).clone(), i as RowId);
+            }
+            self.pk_index = Some(idx);
+        }
+        let cols: Vec<ColumnId> = self.secondary.keys().copied().collect();
+        for c in cols {
+            self.create_index(c);
+        }
+        self.stats = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::ColumnDef;
+    use crate::value::ValueType;
+
+    fn dna_table() -> Table {
+        let schema = TableSchema::new(
+            "DNA",
+            vec![
+                ColumnDef::new("ID", ValueType::Int),
+                ColumnDef::new("type", ValueType::Str),
+            ],
+            Some(0),
+        );
+        let mut t = Table::new(schema);
+        t.insert(row![214i64, "mRNA"]).unwrap();
+        t.insert(row![215i64, "mRNA"]).unwrap();
+        t.insert(row![742i64, "genomic"]).unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_pk_lookup() {
+        let t = dna_table();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.by_pk(&Value::Int(215)).unwrap().get(1).as_str(), "mRNA");
+        assert!(t.by_pk(&Value::Int(999)).is_none());
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = dna_table();
+        let err = t.insert(row![214i64, "EST"]).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKey { .. }));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn arity_and_type_checked() {
+        let mut t = dna_table();
+        assert!(matches!(
+            t.insert(row![1i64]).unwrap_err(),
+            StorageError::SchemaMismatch { .. }
+        ));
+        assert!(matches!(
+            t.insert(row!["notanint", "mRNA"]).unwrap_err(),
+            StorageError::SchemaMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn secondary_index_probe_matches_scan() {
+        let mut t = dna_table();
+        t.create_index(1);
+        let via_idx = t.index_probe(1, &Value::str("mRNA")).to_vec();
+        let via_scan = t.scan(&Predicate::eq(1, "mRNA"));
+        assert_eq!(via_idx, via_scan);
+        assert!(t.has_index(1));
+        assert!(t.has_index(0)); // pk
+        assert!(!t.has_index(99));
+    }
+
+    #[test]
+    fn index_maintained_across_inserts() {
+        let mut t = dna_table();
+        t.create_index(1);
+        t.insert(row![900i64, "mRNA"]).unwrap();
+        assert_eq!(t.index_probe(1, &Value::str("mRNA")).len(), 3);
+    }
+
+    #[test]
+    fn analyze_caches_until_insert() {
+        let mut t = dna_table();
+        let rows = t.analyze().rows;
+        assert_eq!(rows, 3);
+        assert!(t.stats().is_some());
+        t.insert(row![901i64, "EST"]).unwrap();
+        assert!(t.stats().is_none());
+        assert_eq!(t.analyze().rows, 4);
+    }
+
+    #[test]
+    fn sort_by_column_rebuilds_indexes() {
+        let mut t = dna_table();
+        t.create_index(1);
+        t.sort_by_column(1); // genomic, mRNA, mRNA
+        assert_eq!(t.row(0).get(1).as_str(), "genomic");
+        assert_eq!(t.by_pk(&Value::Int(742)).unwrap().get(0).as_int(), 742);
+        assert_eq!(t.index_probe(1, &Value::str("mRNA")).len(), 2);
+    }
+
+    #[test]
+    fn heap_size_grows_with_rows() {
+        let mut t = dna_table();
+        let before = t.heap_size();
+        t.insert(row![950i64, "a-longer-type-string"]).unwrap();
+        assert!(t.heap_size() > before);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the storage substrate: index probes agree with
+//! scans, and selectivity estimates agree with measured fractions.
+
+use proptest::prelude::*;
+use ts_storage::{row, ColumnDef, Predicate, Table, TableSchema, Value, ValueType};
+
+fn table_from(values: &[(i64, u8)]) -> Table {
+    // Column 1 takes one of four string values, column 2 is a keyword bag.
+    let mut t = Table::new(TableSchema::new(
+        "T",
+        vec![
+            ColumnDef::new("ID", ValueType::Int),
+            ColumnDef::new("kind", ValueType::Str),
+            ColumnDef::new("desc", ValueType::Str),
+        ],
+        Some(0),
+    ));
+    const KINDS: [&str; 4] = ["mRNA", "EST", "genomic", "plasmid"];
+    for (i, &(seedish, kind)) in values.iter().enumerate() {
+        let kind = KINDS[(kind % 4) as usize];
+        let mut desc = String::from("base");
+        if seedish % 3 == 0 {
+            desc.push_str(" alpha");
+        }
+        if seedish % 7 == 0 {
+            desc.push_str(" beta");
+        }
+        t.insert(row![i as i64, kind, desc]).expect("unique pk");
+    }
+    t.create_index(1);
+    t.analyze();
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn index_probe_agrees_with_scan(values in proptest::collection::vec((0i64..100, 0u8..8), 1..60)) {
+        let t = table_from(&values);
+        for kind in ["mRNA", "EST", "genomic", "plasmid", "absent"] {
+            let via_scan = t.scan(&Predicate::eq(1, kind));
+            let via_index = t.index_probe(1, &Value::str(kind)).to_vec();
+            prop_assert_eq!(via_scan, via_index, "kind {}", kind);
+        }
+    }
+
+    #[test]
+    fn eq_selectivity_matches_actual_fraction(values in proptest::collection::vec((0i64..100, 0u8..8), 1..60)) {
+        let t = table_from(&values);
+        let stats = t.stats().expect("analyzed");
+        for kind in ["mRNA", "EST", "genomic", "plasmid"] {
+            let actual = t.scan(&Predicate::eq(1, kind)).len() as f64 / t.len() as f64;
+            let est = stats.eq_selectivity(1, &Value::str(kind));
+            // Four distinct values: all tracked in the MCV list, so the
+            // estimate must be exact.
+            prop_assert!((actual - est).abs() < 1e-12, "kind {}: {} vs {}", kind, actual, est);
+        }
+    }
+
+    #[test]
+    fn contains_selectivity_matches_actual_fraction(values in proptest::collection::vec((0i64..100, 0u8..8), 1..60)) {
+        let t = table_from(&values);
+        let stats = t.stats().expect("analyzed");
+        for kw in ["alpha", "beta", "base", "gamma"] {
+            let actual = t.scan(&Predicate::contains(2, kw)).len() as f64 / t.len() as f64;
+            let est = stats.contains_selectivity(2, kw);
+            prop_assert!((actual - est).abs() < 1e-12, "kw {}: {} vs {}", kw, actual, est);
+        }
+    }
+
+    #[test]
+    fn boolean_predicates_respect_logic(values in proptest::collection::vec((0i64..100, 0u8..8), 1..40)) {
+        let t = table_from(&values);
+        let p = Predicate::eq(1, "mRNA");
+        let q = Predicate::contains(2, "alpha");
+        let and_rows = t.scan(&p.clone().and(q.clone()));
+        let or_rows = t.scan(&p.clone().or(q.clone()));
+        let p_rows = t.scan(&p);
+        let q_rows = t.scan(&q);
+        // AND ⊆ each; each ⊆ OR; |AND| + |OR| == |P| + |Q|.
+        for r in &and_rows {
+            prop_assert!(p_rows.contains(r) && q_rows.contains(r));
+        }
+        for r in &p_rows {
+            prop_assert!(or_rows.contains(r));
+        }
+        prop_assert_eq!(and_rows.len() + or_rows.len(), p_rows.len() + q_rows.len());
+    }
+
+    #[test]
+    fn sort_by_column_preserves_content(values in proptest::collection::vec((0i64..100, 0u8..8), 1..40)) {
+        let mut t = table_from(&values);
+        let before: Vec<i64> = {
+            let mut ids: Vec<i64> = t.rows().iter().map(|r| r.get(0).as_int()).collect();
+            ids.sort_unstable();
+            ids
+        };
+        t.sort_by_column(1);
+        let mut after: Vec<i64> = t.rows().iter().map(|r| r.get(0).as_int()).collect();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+        // PK lookups survive the re-cluster.
+        for r in t.rows() {
+            let id = r.get(0).clone();
+            prop_assert_eq!(t.by_pk(&id).expect("present").get(0), &id);
+        }
+    }
+}

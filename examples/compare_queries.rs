@@ -1,0 +1,77 @@
+//! Comparing topologies across multiple queries — the paper's §8 future
+//! work ("primitives for comparing topologies across multiple queries"),
+//! implemented in `ts_core::compare`.
+//!
+//! The scenario: which relationship structures connect *kinase* proteins
+//! to DNAs but never *receptor* proteins (and vice versa)? Topologies are
+//! matched by canonical code, so the comparison also works across
+//! catalogs (different path limits, with/without weak policies).
+//!
+//! ```sh
+//! cargo run --release --example compare_queries
+//! ```
+
+use topology_search::prelude::*;
+use ts_core::compare::{diff, ResultView};
+use ts_core::PruneOptions;
+use ts_graph::render::motif_line;
+
+fn main() {
+    let biozon = biozon::generate(&biozon::BiozonConfig::default());
+    let db = &biozon.db;
+    let graph = graph::DataGraph::from_db(db).expect("consistent db");
+    let schema = graph::SchemaGraph::from_db(db);
+    let (mut catalog, _) =
+        compute_catalog(db, &graph, &schema, &core::ComputeOptions::with_l(3));
+    prune_catalog(&mut catalog, PruneOptions { threshold: 200, max_pruned: 32 });
+    score_catalog(&mut catalog, &biozon::domain_scorer(&biozon.ids));
+    let ctx = QueryContext { db, graph: &graph, schema: &schema, catalog: &catalog };
+
+    let run = |keyword: &str| {
+        let q = TopologyQuery::new(
+            biozon.ids.protein,
+            Predicate::contains(1, keyword),
+            biozon.ids.dna,
+            Predicate::True,
+            3,
+        );
+        Method::FastTop.eval(&ctx, &q)
+    };
+    let kinase = run("kinase");
+    let receptor = run("receptor");
+
+    let d = diff(
+        &ResultView::new(&catalog, kinase.tids()),
+        &ResultView::new(&catalog, receptor.tids()),
+    );
+
+    let type_name = |t: u16| ctx.db.entity_set(t as usize).name.clone();
+    let rel_name = |r: u16| ctx.db.rel_set(r as usize).name.clone();
+
+    println!(
+        "kinase-DNA: {} topologies; receptor-DNA: {} topologies; jaccard {:.2}\n",
+        kinase.topologies.len(),
+        receptor.topologies.len(),
+        d.jaccard()
+    );
+    println!("structures relating kinases but never receptors ({}):", d.only_left.len());
+    for tid in d.only_left.iter().take(5) {
+        let meta = catalog.meta(*tid);
+        println!("  T{tid:<5} {}", motif_line(&meta.graph, &type_name, &rel_name));
+    }
+    println!("\nstructures relating receptors but never kinases ({}):", d.only_right.len());
+    for tid in d.only_right.iter().take(5) {
+        let meta = catalog.meta(*tid);
+        println!("  T{tid:<5} {}", motif_line(&meta.graph, &type_name, &rel_name));
+    }
+    println!("\nshared structures ({}), with database-wide frequencies:", d.common.len());
+    for c in d.common.iter().take(5) {
+        let meta = catalog.meta(c.left);
+        println!(
+            "  T{:<5} freq {:>5}  {}",
+            c.left,
+            meta.freq,
+            motif_line(&meta.graph, &type_name, &rel_name)
+        );
+    }
+}

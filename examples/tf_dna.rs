@@ -1,0 +1,89 @@
+//! The paper's motivating scenario (§1): "how transcription factor (TF)
+//! proteins are related to DNAs", contrasting the isolated path results
+//! of keyword-search systems (Fig. 4) with grouped topology results
+//! (Fig. 5) and their instance-level witnesses.
+//!
+//! ```sh
+//! cargo run --release --example tf_dna
+//! ```
+
+use topology_search::prelude::*;
+use ts_core::instances::retrieve_instances;
+use ts_core::PruneOptions;
+use ts_exec::Work;
+use ts_graph::render::{motif_line, render};
+
+fn main() {
+    let biozon = biozon::generate(&biozon::BiozonConfig::default());
+    let db = &biozon.db;
+    let graph = graph::DataGraph::from_db(db).expect("consistent db");
+    let schema = graph::SchemaGraph::from_db(db);
+    let (mut catalog, _) =
+        compute_catalog(db, &graph, &schema, &core::ComputeOptions::with_l(3));
+    prune_catalog(&mut catalog, PruneOptions { threshold: 200, max_pruned: 32 });
+    score_catalog(&mut catalog, &biozon::domain_scorer(&biozon.ids));
+    let ctx = QueryContext { db, graph: &graph, schema: &schema, catalog: &catalog };
+
+    // "Transcription factor" proteins: both keywords in the description.
+    let tf = Predicate::contains(1, "transcription").and(Predicate::contains(1, "factor"));
+    let query = TopologyQuery::new(biozon.ids.protein, tf, biozon.ids.dna, Predicate::True, 3)
+        .with_k(8)
+        .with_scheme(RankScheme::Domain);
+
+    let outcome = Method::FastTop.eval(&ctx, &query);
+    println!(
+        "TF-protein x DNA query: {} distinct topologies ({} work units, {:.1} ms)\n",
+        outcome.topologies.len(),
+        outcome.work,
+        outcome.wall_ms
+    );
+
+    let type_name = |t: u16| ctx.db.entity_set(t as usize).name.clone();
+    let rel_name = |r: u16| ctx.db.rel_set(r as usize).name.clone();
+
+    // Grouped, schema-level view (the paper's Fig. 5 answer), each with
+    // a couple of instance-level witnesses (Fig. 4's rows, but organized).
+    let mut shown = 0;
+    for (tid, _) in &outcome.topologies {
+        let meta = catalog.meta(*tid);
+        if meta.graph.node_count() < 3 {
+            continue; // skip the trivial direct-edge topology in the demo
+        }
+        println!(
+            "topology T{tid} (freq {} across the whole database):",
+            meta.freq
+        );
+        print!("{}", render(&meta.graph, &type_name, &rel_name));
+        let work = Work::new();
+        let instances = retrieve_instances(&ctx, *tid, 2, &work);
+        for inst in &instances {
+            println!(
+                "  instance: pair ({}, {}) over entities {:?}",
+                inst.e1, inst.e2, inst.entities
+            );
+        }
+        println!();
+        shown += 1;
+        if shown == 4 {
+            break;
+        }
+    }
+    if shown == 0 {
+        println!("(no multi-hop TF topologies at this scale; rerun with a bigger config)");
+    }
+
+    // The self-regulation motif of Fig. 2 (third graph): a protein that
+    // is encoded by a DNA and also interacts with it.
+    let self_reg = catalog
+        .metas()
+        .iter()
+        .filter(|m| {
+            m.espair == EsPair::new(biozon.ids.protein, biozon.ids.dna)
+                && m.graph.edges.iter().any(|&(_, _, r)| r == biozon.ids.interacts_p)
+                && m.graph.edges.iter().any(|&(_, _, r)| r == biozon.ids.encodes)
+        })
+        .count();
+    println!("catalog-wide: {self_reg} P-D topologies combine 'encodes' with an interaction —");
+    println!("the shape the paper calls a substantial finding (self-regulating TFs, Fig. 2).");
+    println!("\n{}", motif_line(&catalog.metas()[0].graph, &type_name, &rel_name));
+}

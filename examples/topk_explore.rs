@@ -1,0 +1,85 @@
+//! Ranked exploration: the three ranking schemes (Freq / Domain / Rare)
+//! side by side, and all nine evaluation methods racing on one query —
+//! a single cell of the paper's Table 2.
+//!
+//! ```sh
+//! cargo run --release --example topk_explore
+//! ```
+
+use topology_search::prelude::*;
+use ts_biozon::{selectivity_predicate, Selectivity};
+use ts_core::PruneOptions;
+use ts_graph::render::motif_line;
+
+fn main() {
+    let biozon = biozon::generate(&biozon::BiozonConfig::default());
+    let db = &biozon.db;
+    let graph = graph::DataGraph::from_db(db).expect("consistent db");
+    let schema = graph::SchemaGraph::from_db(db);
+    let (mut catalog, _) =
+        compute_catalog(db, &graph, &schema, &core::ComputeOptions::with_l(3));
+    prune_catalog(&mut catalog, PruneOptions { threshold: 150, max_pruned: 32 });
+    score_catalog(&mut catalog, &biozon::domain_scorer(&biozon.ids));
+    let ctx = QueryContext { db, graph: &graph, schema: &schema, catalog: &catalog };
+
+    // Protein (medium selectivity) x Interaction (medium) — the center
+    // cell of Table 2's grid.
+    let base = TopologyQuery::new(
+        biozon.ids.protein,
+        selectivity_predicate(Selectivity::Medium),
+        biozon.ids.interaction,
+        selectivity_predicate(Selectivity::Medium),
+        3,
+    )
+    .with_k(10);
+
+    let type_name = |t: u16| ctx.db.entity_set(t as usize).name.clone();
+    let rel_name = |r: u16| ctx.db.rel_set(r as usize).name.clone();
+
+    // Part 1: what each ranking scheme surfaces.
+    for scheme in RankScheme::all() {
+        let q = base.clone().with_scheme(scheme);
+        let out = Method::FastTopK.eval(&ctx, &q);
+        println!("top-5 by {scheme}:");
+        for (tid, score) in out.topologies.iter().take(5) {
+            let meta = catalog.meta(*tid);
+            println!(
+                "  T{tid:<4} score {score:>9.3} freq {:>5}  {}",
+                meta.freq,
+                motif_line(&meta.graph, &type_name, &rel_name)
+            );
+        }
+        println!();
+    }
+
+    // Part 2: the nine methods on the Freq scheme.
+    println!("{:<16} {:>10} {:>12}  result", "method", "wall ms", "work");
+    let q = base.with_scheme(RankScheme::Freq);
+    let mut reference: Option<Vec<u32>> = None;
+    for method in Method::all() {
+        let out = method.eval(&ctx, &q);
+        let tids = out.tid_set();
+        let marker = match (&reference, method.is_topk()) {
+            (None, true) => {
+                reference = Some(tids.clone());
+                "reference"
+            }
+            (Some(r), true) => {
+                if *r == tids {
+                    "= reference"
+                } else {
+                    "DIFFERS!"
+                }
+            }
+            _ => "(all results)",
+        };
+        println!(
+            "{:<16} {:>10.2} {:>12}  {} topologies {}",
+            method.name(),
+            out.wall_ms,
+            out.work,
+            out.topologies.len(),
+            marker
+        );
+    }
+}

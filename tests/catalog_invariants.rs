@@ -1,0 +1,158 @@
+//! Cross-crate invariants of the topology catalog, checked on generated
+//! databases across several seeds. These are the properties that make
+//! the Fast-Top equivalence proof of §4 go through.
+
+use topology_search::prelude::*;
+use ts_core::compute::path_sig_of_graph;
+use ts_core::PruneOptions;
+use ts_graph::canonical_code;
+
+fn build(seed: u64) -> (ts_biozon::Biozon, ts_graph::DataGraph, ts_graph::SchemaGraph, Catalog) {
+    let biozon = biozon::generate(&biozon::BiozonConfig::default().scaled(0.1));
+    let mut cfg = biozon.config.clone();
+    cfg.seed = seed;
+    let biozon = biozon::generate(&cfg);
+    let graph = graph::DataGraph::from_db(&biozon.db).expect("consistent");
+    let schema = graph::SchemaGraph::from_db(&biozon.db);
+    let pairs = vec![
+        EsPair::new(biozon.ids.protein, biozon.ids.dna),
+        EsPair::new(biozon.ids.protein, biozon.ids.interaction),
+        EsPair::new(biozon.ids.dna, biozon.ids.unigene),
+    ];
+    let opts = ComputeOptions { es_pairs: Some(pairs), ..ComputeOptions::with_l(3) };
+    let (mut catalog, _) = compute_catalog(&biozon.db, &graph, &schema, &opts);
+    prune_catalog(&mut catalog, PruneOptions { threshold: 10, max_pruned: 32 });
+    (biozon, graph, schema, catalog)
+}
+
+#[test]
+fn frequencies_equal_alltops_row_counts() {
+    for seed in [1u64, 7, 99] {
+        let (_b, _g, _s, cat) = build(seed);
+        let mut counts = std::collections::HashMap::new();
+        for r in cat.alltops.rows() {
+            *counts.entry(r.get(2).as_int() as u32).or_insert(0u64) += 1;
+        }
+        for m in cat.metas() {
+            assert_eq!(
+                m.freq,
+                counts.get(&m.id).copied().unwrap_or(0),
+                "seed {seed} tid {}",
+                m.id
+            );
+        }
+    }
+}
+
+#[test]
+fn lefttops_is_alltops_minus_pruned() {
+    for seed in [1u64, 7] {
+        let (_b, _g, _s, cat) = build(seed);
+        let pruned: std::collections::HashSet<u32> =
+            cat.metas().iter().filter(|m| m.pruned).map(|m| m.id).collect();
+        assert!(!pruned.is_empty(), "seed {seed}: expect something pruned at threshold 10");
+        let expected: usize = cat
+            .alltops
+            .rows()
+            .iter()
+            .filter(|r| !pruned.contains(&(r.get(2).as_int() as u32)))
+            .count();
+        assert_eq!(cat.lefttops.len(), expected, "seed {seed}");
+        for r in cat.lefttops.rows() {
+            assert!(!pruned.contains(&(r.get(2).as_int() as u32)));
+        }
+    }
+}
+
+#[test]
+fn exception_rows_are_exactly_multi_class_pairs_with_the_pruned_path() {
+    let (_b, _g, _s, cat) = build(7);
+    // Recompute expectations from the pair records (the ground truth).
+    let pruned: Vec<_> = cat.metas().iter().filter(|m| m.pruned).collect();
+    let mut expected = 0usize;
+    for p in &cat.pairs {
+        for m in &pruned {
+            if m.espair != p.espair {
+                continue;
+            }
+            let sig_id = cat.sig_id(m.path_sig.as_ref().expect("path-shaped")).expect("interned");
+            if p.sigs.contains(&sig_id) && !p.topos.contains(&m.id) {
+                expected += 1;
+                assert!(
+                    cat.excp_contains(p.e1, p.e2, m.id),
+                    "pair ({}, {}) missing from ExcpTops for tid {}",
+                    p.e1,
+                    p.e2,
+                    m.id
+                );
+            }
+        }
+    }
+    assert_eq!(cat.excptops.len(), expected);
+}
+
+#[test]
+fn topology_codes_are_consistent_with_graphs() {
+    let (_b, _g, _s, cat) = build(1);
+    for m in cat.metas() {
+        assert_eq!(canonical_code(&m.graph), m.code, "tid {}", m.id);
+        assert!(m.graph.is_connected(), "topology graphs are connected");
+        // Path-shaped detection is consistent with the graph.
+        let recomputed = path_sig_of_graph(&m.graph, m.espair);
+        assert_eq!(recomputed, m.path_sig, "tid {}", m.id);
+    }
+}
+
+#[test]
+fn pair_topologies_reference_valid_ids_and_are_sorted() {
+    let (_b, _g, _s, cat) = build(99);
+    for p in &cat.pairs {
+        assert!(!p.topos.is_empty(), "a connected pair has at least one topology");
+        let mut sorted = p.topos.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, p.topos);
+        for &tid in &p.topos {
+            let m = cat.meta(tid);
+            assert_eq!(m.espair, p.espair);
+        }
+    }
+}
+
+#[test]
+fn space_report_accounts_every_byte() {
+    let (_b, _g, _s, cat) = build(7);
+    let report = cat.space_report();
+    assert!(!report.is_empty());
+    for (espair, row) in &report {
+        assert!(row.alltops_bytes > 0, "{espair:?}");
+        assert!(
+            row.lefttops_bytes <= row.alltops_bytes,
+            "LeftTops can never exceed AllTops for {espair:?}"
+        );
+        // The paper's Table 1 headline: pruning shrinks storage.
+        assert!(row.ratio() <= 1.0 + 1e-9);
+    }
+}
+
+#[test]
+fn catalog_build_is_deterministic_across_parallelism() {
+    let biozon = biozon::generate(&biozon::BiozonConfig::default().scaled(0.08));
+    let graph = graph::DataGraph::from_db(&biozon.db).expect("consistent");
+    let schema = graph::SchemaGraph::from_db(&biozon.db);
+    let pairs = vec![EsPair::new(biozon.ids.protein, biozon.ids.dna)];
+    let serial = ComputeOptions { es_pairs: Some(pairs.clone()), ..ComputeOptions::with_l(3) };
+    let parallel = ComputeOptions {
+        es_pairs: Some(pairs),
+        parallel: true,
+        ..ComputeOptions::with_l(3)
+    };
+    let (c1, _) = compute_catalog(&biozon.db, &graph, &schema, &serial);
+    let (c2, _) = compute_catalog(&biozon.db, &graph, &schema, &parallel);
+    assert_eq!(c1.topology_count(), c2.topology_count());
+    assert_eq!(c1.alltops.len(), c2.alltops.len());
+    for (a, b) in c1.metas().iter().zip(c2.metas().iter()) {
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.freq, b.freq);
+    }
+}

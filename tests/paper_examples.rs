@@ -1,0 +1,100 @@
+//! The paper's worked examples, end-to-end through the public facade.
+//!
+//! Every assertion here is a sentence from the paper (§2.2 and Figs.
+//! 3–5): the Fig. 3 database, PS(78,215,3) = {l2,l3,l6},
+//! 3-PathEC(78,215) has two classes, 3-Top(78,215) = {T3,T4},
+//! 3-Top(32,214) = {T1}, 3-Top(44,742) = {T2}, and the query result
+//! 3-Topology(Q,G) = {T1,T2,T3,T4}.
+
+use topology_search::prelude::*;
+use ts_graph::fixtures::{figure3, DNA, PROTEIN};
+use ts_graph::paths::enumerate_pair_paths;
+use ts_core::topology::{pair_topologies, TopOptions};
+
+#[test]
+fn section_2_worked_example() {
+    let (db, g, schema) = figure3();
+
+    // PS(78, 215, 3) = { l2, l3, l6 }.
+    let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
+    let p78 = g.node(PROTEIN, 78).unwrap();
+    let d215 = g.node(DNA, 215).unwrap();
+    let paths = &pp.map[&(p78, d215)];
+    assert_eq!(paths.len(), 3);
+
+    // 3-PathEC(78,215) contains two equivalence classes.
+    let t = pair_topologies(&g, paths, TopOptions::default());
+    assert_eq!(t.class_count(), 2);
+    // 3-Top(78,215) = { T3, T4 }.
+    assert_eq!(t.unions.len(), 2);
+
+    // Full pipeline: the query of Example 2.1.
+    let (catalog, _) = compute_catalog(&db, &g, &schema, &ComputeOptions::with_l(3));
+    let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &catalog };
+    let q = TopologyQuery::new(
+        PROTEIN,
+        Predicate::contains(1, "enzyme"),
+        DNA,
+        Predicate::eq(1, "mRNA"),
+        3,
+    );
+    // 3-Topology(Q, G) = { T1, T2, T3, T4 }.
+    let out = Method::FullTop.eval(&ctx, &q);
+    assert_eq!(out.tid_set().len(), 4);
+
+    // And every method agrees on this historic query.
+    for m in Method::all() {
+        let got = m.eval(&ctx, &q);
+        if m.is_topk() {
+            assert!(got.tid_set().len() <= 4);
+            for tid in got.tid_set() {
+                assert!(out.tid_set().contains(&tid), "{}", m.name());
+            }
+        } else {
+            assert_eq!(got.tid_set(), out.tid_set(), "{}", m.name());
+        }
+    }
+}
+
+#[test]
+fn t2_not_in_top_of_78_215() {
+    // "T2 is not in 3-Top(78,215) because it does not depict the full
+    // interaction of paths from different equivalence classes."
+    let (_db, g, schema) = figure3();
+    let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
+    let p78 = g.node(PROTEIN, 78).unwrap();
+    let d215 = g.node(DNA, 215).unwrap();
+    let t78 = pair_topologies(&g, &pp.map[&(p78, d215)], TopOptions::default());
+    let p44 = g.node(PROTEIN, 44).unwrap();
+    let d742 = g.node(DNA, 742).unwrap();
+    let t44 = pair_topologies(&g, &pp.map[&(p44, d742)], TopOptions::default());
+    // T2 is the (single) topology of (44, 742); it must not appear among
+    // (78, 215)'s topologies.
+    let t2_code = &t44.unions[0].1;
+    assert!(t78.unions.iter().all(|(_, c)| c != t2_code));
+}
+
+#[test]
+fn isolated_results_versus_topologies() {
+    // §1: keyword-search systems return 6 isolated paths (Fig. 4) for
+    // the unconstrained query; topology search groups them into 4+1
+    // schema-level results with instance witnesses.
+    let (db, g, schema) = figure3();
+    let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
+    // Fig. 4's six rows are the paths whose protein matches the query's
+    // 'enzyme' keyword ({32, 78, 44}); pair (34, 215) adds two more.
+    let enzyme_proteins: Vec<u32> =
+        [32i64, 78, 44].iter().map(|&id| g.node(PROTEIN, id).unwrap()).collect();
+    let isolated: usize = pp
+        .map
+        .iter()
+        .filter(|((a, _), _)| enzyme_proteins.contains(a))
+        .map(|(_, v)| v.len())
+        .sum();
+    assert_eq!(isolated, 6, "Fig. 4 shows exactly six isolated results");
+    let all_paths: usize = pp.map.values().map(Vec::len).sum();
+    assert_eq!(all_paths, 8);
+    let (catalog, _) = compute_catalog(&db, &g, &schema, &ComputeOptions::with_l(3));
+    let pd = EsPair::new(PROTEIN, DNA);
+    assert!(catalog.topologies_for(pd).len() < isolated);
+}
