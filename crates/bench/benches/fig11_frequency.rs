@@ -19,7 +19,10 @@ fn main() {
         ("PU", EsPair::new(ids.protein, ids.unigene)),
     ];
 
-    println!("{:<6} {:<22} {:>8} {:>10} {:>10} {:>12}", "pair", "espair", "topos", "freq[0]", "freq[9]", "zipf slope");
+    println!(
+        "{:<6} {:<22} {:>8} {:>10} {:>10} {:>12}",
+        "pair", "espair", "topos", "freq[0]", "freq[9]", "zipf slope"
+    );
     for (label, espair) in pairs {
         let dist = env.catalog.freq_distribution(espair);
         if dist.is_empty() {
@@ -46,7 +49,8 @@ fn main() {
 
     // Shape check, stated loudly so regressions are visible in CI logs.
     let pd = env.catalog.freq_distribution(EsPair::new(ids.protein, ids.dna));
-    let heavy_head = pd.first().copied().unwrap_or(0) >= 10 * pd.get(pd.len() / 2).copied().unwrap_or(1).max(1);
+    let heavy_head =
+        pd.first().copied().unwrap_or(0) >= 10 * pd.get(pd.len() / 2).copied().unwrap_or(1).max(1);
     println!(
         "\nZipfian head present (freq[0] >= 10 x median): {}",
         if heavy_head { "YES (matches paper)" } else { "NO (investigate)" }

@@ -28,8 +28,7 @@ fn main() {
             let g = &env.catalog.meta(tid).graph;
             let proteins = g.labels.iter().filter(|&&l| l == ids.protein).count();
             let has_interaction = g.labels.contains(&ids.interaction);
-            let encodes_edges =
-                g.edges.iter().filter(|&&(_, _, r)| r == ids.encodes).count();
+            let encodes_edges = g.edges.iter().filter(|&&(_, _, r)| r == ids.encodes).count();
             proteins >= 2 && has_interaction && encodes_edges >= 2
         })
         .collect();
@@ -42,7 +41,10 @@ fn main() {
         let work = Work::new();
         let instances = retrieve_instances(&ctx, tid, 3, &work);
         for inst in instances {
-            println!("  instance: DNA {} encodes interacting proteins (pair e1={})", inst.e2, inst.e1);
+            println!(
+                "  instance: DNA {} encodes interacting proteins (pair e1={})",
+                inst.e2, inst.e1
+            );
         }
     }
     println!(

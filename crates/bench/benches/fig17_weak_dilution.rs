@@ -10,12 +10,8 @@ fn main() {
     header("Figure 17 — weak-relationship dilution at l = 4");
 
     let naive = build_env(EnvOptions { l: 4, scale: 0.08, ..EnvOptions::default() });
-    let pruned = build_env(EnvOptions {
-        l: 4,
-        scale: 0.08,
-        weak_policy: true,
-        ..EnvOptions::default()
-    });
+    let pruned =
+        build_env(EnvOptions { l: 4, scale: 0.08, weak_policy: true, ..EnvOptions::default() });
 
     let pd_naive = EsPair::new(naive.biozon.ids.protein, naive.biozon.ids.dna);
     let pd_pruned = EsPair::new(pruned.biozon.ids.protein, pruned.biozon.ids.dna);
@@ -38,7 +34,10 @@ fn main() {
         .count();
 
     println!("{:<40} {:>12} {:>12}", "", "naive l=4", "weak-pruned");
-    println!("{:<40} {:>12} {:>12}", "instance paths enumerated", naive.stats.paths, pruned.stats.paths);
+    println!(
+        "{:<40} {:>12} {:>12}",
+        "instance paths enumerated", naive.stats.paths, pruned.stats.paths
+    );
     println!(
         "{:<40} {:>12} {:>12}",
         "paths dropped by policy", naive.stats.weak_paths_dropped, pruned.stats.weak_paths_dropped

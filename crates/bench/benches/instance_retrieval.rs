@@ -18,9 +18,7 @@ fn main() {
     tids.sort_by_key(|&t| env.catalog.meta(t).freq);
 
     // Sample topologies across the frequency range: min, deciles, max.
-    let picks: Vec<u32> = (0..=10)
-        .map(|d| tids[(d * (tids.len() - 1)) / 10])
-        .collect();
+    let picks: Vec<u32> = (0..=10).map(|d| tids[(d * (tids.len() - 1)) / 10]).collect();
 
     let ctx = env.ctx();
     println!(

@@ -89,11 +89,8 @@ fn bench_dgj_vs_hash(c: &mut Criterion) {
             || rows.clone(),
             |rows| {
                 let scan: BoxedOp<'_> = Box::new(ValuesScan::new(rows, Work::new()));
-                let build: BoxedOp<'_> = Box::new(ts_exec::TableScan::new(
-                    &inner,
-                    Predicate::True,
-                    Work::new(),
-                ));
+                let build: BoxedOp<'_> =
+                    Box::new(ts_exec::TableScan::new(&inner, Predicate::True, Work::new()));
                 let mut j = HashJoin::new(scan, 1, build, 0, Work::new());
                 collect_all(&mut j).len()
             },

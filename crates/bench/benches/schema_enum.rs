@@ -20,12 +20,7 @@ fn main() {
     println!("{:<14} {:>12} {:>8}", "max classes", "candidates", "capped");
     for max_classes in 1..=4 {
         let e = enumerate_schema_topologies(&env.schema, pd, 3, max_classes, 200_000);
-        println!(
-            "{:<14} {:>12} {:>8}",
-            max_classes,
-            e.total,
-            if e.capped { "yes" } else { "no" }
-        );
+        println!("{:<14} {:>12} {:>8}", max_classes, e.total, if e.capped { "yes" } else { "no" });
     }
 
     let observed = env.catalog.topologies_for(pd).len();

@@ -17,7 +17,8 @@ fn main() {
     // Naive l=4 at small scale, to expose the weak-relationship cost.
     let naive = build_env(EnvOptions { l: 4, scale: 0.08, ..EnvOptions::default() });
     // Weak-pruned l=4 at the working scale.
-    let env = build_env(EnvOptions { l: 4, scale: 0.12, weak_policy: true, ..EnvOptions::default() });
+    let env =
+        build_env(EnvOptions { l: 4, scale: 0.12, weak_policy: true, ..EnvOptions::default() });
 
     println!(
         "\noffline build:  naive l=4 (scale 0.08): {} paths, {} topologies, {:.0} ms",
@@ -41,9 +42,7 @@ fn main() {
 
     // Fast-Top-k-Opt grid (left side of Table 3).
     let ctx = env.ctx();
-    println!(
-        "\nFast-Top-k-Opt (ms): rows = protein selectivity, cols = interaction selectivity"
-    );
+    println!("\nFast-Top-k-Opt (ms): rows = protein selectivity, cols = interaction selectivity");
     println!(
         "{:<14} {:<8} {:>10} {:>10} {:>10}",
         "protein", "scheme", "selective", "medium", "unselective"

@@ -17,8 +17,8 @@
 
 use ts_biozon::{generate, Biozon, BiozonConfig};
 use ts_core::{
-    compute_catalog, prune_catalog, score_catalog, Catalog, ComputeOptions, EsPair,
-    PruneOptions, QueryContext, WeakPolicy,
+    compute_catalog, prune_catalog, score_catalog, Catalog, ComputeOptions, EsPair, PruneOptions,
+    QueryContext, WeakPolicy,
 };
 use ts_graph::{DataGraph, SchemaGraph};
 

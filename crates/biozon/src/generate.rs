@@ -90,9 +90,21 @@ impl Zipf {
 /// Keyword pool for descriptions. The selectivity keywords are planted
 /// independently so each hits its exact expected rate.
 const FLAVOR: &[&str] = &[
-    "ubiquitin", "kinase", "phosphatase", "receptor", "transcription",
-    "factor", "binding", "membrane", "hypothetical", "conjugating",
-    "carrier", "homolog", "variant", "inducible", "ribosomal",
+    "ubiquitin",
+    "kinase",
+    "phosphatase",
+    "receptor",
+    "transcription",
+    "factor",
+    "binding",
+    "membrane",
+    "hypothetical",
+    "conjugating",
+    "carrier",
+    "homolog",
+    "variant",
+    "inducible",
+    "ribosomal",
 ];
 
 /// Selectivity keyword planted at ~15%.
@@ -174,8 +186,7 @@ pub fn generate(cfg: &BiozonConfig) -> Biozon {
     let (interacts_d_t, interacts_d) =
         mk_rel(&mut db, "Interacts_D", dna, "DID", interaction, "IID");
     let (belongs_t, belongs) = mk_rel(&mut db, "Belongs", protein, "PID", family, "FID");
-    let (manifest_t, manifest) =
-        mk_rel(&mut db, "Manifest", structure, "SID", protein, "PID");
+    let (manifest_t, manifest) = mk_rel(&mut db, "Manifest", structure, "SID", protein, "PID");
     let (member_t, member) = mk_rel(&mut db, "Member", pathway, "WID", protein, "PID");
 
     // Entities.
@@ -215,20 +226,62 @@ pub fn generate(cfg: &BiozonConfig) -> Biozon {
     let zs = Zipf::new(cfg.structures, cfg.zipf_skew);
     let zw = Zipf::new(cfg.pathways, cfg.zipf_skew);
 
-    let add_edges =
-        |db: &mut Database, table, n: usize, abase: i64, za: &Zipf, bbase: i64, zb: &Zipf, rng: &mut StdRng| {
-            for _ in 0..n {
-                let a = abase + za.sample(rng) as i64;
-                let b = bbase + zb.sample(rng) as i64;
-                db.table_mut(table).insert(row![a, b]).expect("rel schema");
-            }
-        };
+    let add_edges = |db: &mut Database,
+                     table,
+                     n: usize,
+                     abase: i64,
+                     za: &Zipf,
+                     bbase: i64,
+                     zb: &Zipf,
+                     rng: &mut StdRng| {
+        for _ in 0..n {
+            let a = abase + za.sample(rng) as i64;
+            let b = bbase + zb.sample(rng) as i64;
+            db.table_mut(table).insert(row![a, b]).expect("rel schema");
+        }
+    };
 
     add_edges(&mut db, encodes_t, cfg.encodes, PROTEIN_BASE, &zp, DNA_BASE, &zd, &mut rng);
-    add_edges(&mut db, uni_encodes_t, cfg.uni_encodes, UNIGENE_BASE, &zu, PROTEIN_BASE, &zp, &mut rng);
-    add_edges(&mut db, uni_contains_t, cfg.uni_contains, UNIGENE_BASE, &zu, DNA_BASE, &zd, &mut rng);
-    add_edges(&mut db, interacts_p_t, cfg.interacts_p, PROTEIN_BASE, &zp, INTERACTION_BASE, &zi, &mut rng);
-    add_edges(&mut db, interacts_d_t, cfg.interacts_d, DNA_BASE, &zd, INTERACTION_BASE, &zi, &mut rng);
+    add_edges(
+        &mut db,
+        uni_encodes_t,
+        cfg.uni_encodes,
+        UNIGENE_BASE,
+        &zu,
+        PROTEIN_BASE,
+        &zp,
+        &mut rng,
+    );
+    add_edges(
+        &mut db,
+        uni_contains_t,
+        cfg.uni_contains,
+        UNIGENE_BASE,
+        &zu,
+        DNA_BASE,
+        &zd,
+        &mut rng,
+    );
+    add_edges(
+        &mut db,
+        interacts_p_t,
+        cfg.interacts_p,
+        PROTEIN_BASE,
+        &zp,
+        INTERACTION_BASE,
+        &zi,
+        &mut rng,
+    );
+    add_edges(
+        &mut db,
+        interacts_d_t,
+        cfg.interacts_d,
+        DNA_BASE,
+        &zd,
+        INTERACTION_BASE,
+        &zi,
+        &mut rng,
+    );
     add_edges(&mut db, belongs_t, cfg.belongs, PROTEIN_BASE, &zp, FAMILY_BASE, &zf, &mut rng);
     add_edges(&mut db, manifest_t, cfg.manifest, STRUCTURE_BASE, &zs, PROTEIN_BASE, &zp, &mut rng);
     add_edges(&mut db, member_t, cfg.members, PATHWAY_BASE, &zw, PROTEIN_BASE, &zp, &mut rng);
@@ -304,10 +357,7 @@ mod tests {
         let g = DataGraph::from_db(&b.db).expect("no dangling fks");
         assert!(g.node_count() > 0);
         assert!(g.edge_count() > 0);
-        assert_eq!(
-            g.nodes_of_type(b.ids.protein).len(),
-            b.config.proteins
-        );
+        assert_eq!(g.nodes_of_type(b.ids.protein).len(), b.config.proteins);
     }
 
     #[test]

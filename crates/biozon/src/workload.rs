@@ -107,8 +107,7 @@ mod tests {
     fn interaction_predicates_work_too() {
         let b = generate(&BiozonConfig::default());
         let t = b.db.table_by_name("Interaction").unwrap();
-        let got = t.scan(&selectivity_predicate(Selectivity::Medium)).len() as f64
-            / t.len() as f64;
+        let got = t.scan(&selectivity_predicate(Selectivity::Medium)).len() as f64 / t.len() as f64;
         assert!((got - 0.5).abs() < 0.1);
     }
 

@@ -213,9 +213,7 @@ impl Catalog {
         }
         for p in &self.pairs {
             for &tid in &p.topos {
-                self.alltops
-                    .insert(row![p.e1, p.e2, tid as i64])
-                    .expect("alltops schema is fixed");
+                self.alltops.insert(row![p.e1, p.e2, tid as i64]).expect("alltops schema is fixed");
             }
         }
         self.alltops.create_index(0);
@@ -291,13 +289,10 @@ impl Catalog {
 
     /// True if `(e1, e2, tid)` is in the exception table.
     pub fn excp_contains(&self, e1: i64, e2: i64, tid: TopologyId) -> bool {
-        self.excptops
-            .index_probe(0, &Value::Int(e1))
-            .iter()
-            .any(|&rid| {
-                let r = self.excptops.row(rid);
-                r.get(1).as_int() == e2 && r.get(2).as_int() == tid as i64
-            })
+        self.excptops.index_probe(0, &Value::Int(e1)).iter().any(|&rid| {
+            let r = self.excptops.row(rid);
+            r.get(1).as_int() == e2 && r.get(2).as_int() == tid as i64
+        })
     }
 
     /// Per-espair byte sizes of the three tables (Table 1 of the paper).

@@ -119,10 +119,7 @@ mod tests {
         let q = TopologyQuery::new(PROTEIN, Predicate::True, DNA, Predicate::True, 3);
         let r1 = full_top::eval(&ctx, &q);
         let r2 = full_top::eval(&ctx, &q);
-        let d = diff(
-            &ResultView::new(&cat, r1.tids()),
-            &ResultView::new(&cat, r2.tids()),
-        );
+        let d = diff(&ResultView::new(&cat, r1.tids()), &ResultView::new(&cat, r2.tids()));
         assert!(d.only_left.is_empty());
         assert!(d.only_right.is_empty());
         assert_eq!(d.common.len(), r1.tids().len());
@@ -139,18 +136,9 @@ mod tests {
         );
         let narrow = full_top::eval(
             &ctx,
-            &TopologyQuery::new(
-                PROTEIN,
-                Predicate::contains(1, "MMS2"),
-                DNA,
-                Predicate::True,
-                3,
-            ),
+            &TopologyQuery::new(PROTEIN, Predicate::contains(1, "MMS2"), DNA, Predicate::True, 3),
         );
-        let d = diff(
-            &ResultView::new(&cat, broad.tids()),
-            &ResultView::new(&cat, narrow.tids()),
-        );
+        let d = diff(&ResultView::new(&cat, broad.tids()), &ResultView::new(&cat, narrow.tids()));
         assert!(d.only_right.is_empty(), "narrow cannot have extra topologies");
         assert!(!d.only_left.is_empty());
         assert!(d.jaccard() < 1.0);
@@ -168,10 +156,7 @@ mod tests {
         let q2 = TopologyQuery::new(PROTEIN, Predicate::True, DNA, Predicate::True, 2);
         let r3 = full_top::eval(&ctx3, &q);
         let r2 = full_top::eval(&ctx2, &q2);
-        let d = diff(
-            &ResultView::new(&cat3, r3.tids()),
-            &ResultView::new(&cat2, r2.tids()),
-        );
+        let d = diff(&ResultView::new(&cat3, r3.tids()), &ResultView::new(&cat2, r2.tids()));
         assert!(!d.only_left.is_empty(), "length-3 topologies exist only at l=3");
         assert!(d.only_right.is_empty(), "every l=2 topology also arises at l=3 here");
         for c in &d.common {

@@ -134,16 +134,15 @@ fn compute_espair(
     let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
     let chunk = sources.len().div_ceil(threads);
     let mut results: Vec<(Vec<LocalPair>, u64)> = Vec::new();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = sources
             .chunks(chunk)
-            .map(|shard| s.spawn(move |_| run_shard(g, schema, espair, shard, opts)))
+            .map(|shard| s.spawn(move || run_shard(g, schema, espair, shard, opts)))
             .collect();
         for h in handles {
             results.push(h.join().expect("shard thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     let mut locals = Vec::new();
     for (mut l, dropped) in results {
         stats.weak_paths_dropped += dropped;
@@ -254,10 +253,7 @@ pub fn path_sig_of_graph(graph: &LGraph, espair: EsPair) -> Option<PathSig> {
     let mut prev: Option<u8> = None;
     let mut cur = ends[0];
     while types.len() < n {
-        let (rel, next) = graph
-            .neighbors(cur)
-            .into_iter()
-            .find(|&(_, w)| Some(w) != prev)?;
+        let (rel, next) = graph.neighbors(cur).into_iter().find(|&(_, w)| Some(w) != prev)?;
         rels.push(rel);
         types.push(graph.labels[next as usize]);
         prev = Some(cur);
@@ -334,10 +330,7 @@ mod tests {
         let mut policy = WeakPolicy::new();
         // Ban P-U-P-D (the length-3 class through a second protein).
         policy.ban_walk(&[PROTEIN, UNIGENE, PROTEIN, DNA], &[1, 1, 0]);
-        let opts = ComputeOptions {
-            weak_policy: Some(policy),
-            ..ComputeOptions::with_l(3)
-        };
+        let opts = ComputeOptions { weak_policy: Some(policy), ..ComputeOptions::with_l(3) };
         let (cat, stats) = compute_catalog(&db, &g, &schema, &opts);
         assert!(stats.weak_paths_dropped > 0);
         // Without the P-U-P-D path, pair (78,215) has a single class and

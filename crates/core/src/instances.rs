@@ -59,10 +59,11 @@ pub fn retrieve_instances(
 
         // Recompute the pair's paths and find a representative choice
         // whose union matches the topology.
-        let paths: Vec<ts_graph::Path> = ts_graph::paths_from(ctx.graph, &reach, a, espair.to, ctx.catalog.l)
-            .into_iter()
-            .filter(|p| p.endpoints().1 == b)
-            .collect();
+        let paths: Vec<ts_graph::Path> =
+            ts_graph::paths_from(ctx.graph, &reach, a, espair.to, ctx.catalog.l)
+                .into_iter()
+                .filter(|p| p.endpoints().1 == b)
+                .collect();
         work.tick(paths.len() as u64);
         let classes = path_classes(ctx.graph, &paths);
         if classes.is_empty() {

@@ -110,8 +110,7 @@ pub fn run_et_plan(
     let scan: BoxedOp<'_> = Box::new(ValuesScan::grouped(rows, 0, work.clone()));
     // Expand each topology into its (E1, E2, TID) rows. Output:
     // [TID, E1, E2, TID'].
-    let expand: BoxedOp<'_> =
-        Box::new(Idgj::new(scan, 0, tops_table, 2, 0, work.clone()));
+    let expand: BoxedOp<'_> = Box::new(Idgj::new(scan, 0, tops_table, 2, 0, work.clone()));
 
     let top: BoxedOp<'_> = match plan {
         EtPlanKind::Idgj => {
@@ -120,14 +119,7 @@ pub fn run_et_plan(
                 Box::new(Idgj::new(expand, 1, from_table, from_pk, 0, work.clone()));
             let f1: BoxedOp<'_> =
                 Box::new(Filter::new(j1, shift_predicate(o.con_from, 4), work.clone()));
-            let j2: BoxedOp<'_> = Box::new(Idgj::new(
-                f1,
-                2,
-                to_table,
-                to_pk,
-                0,
-                work.clone(),
-            ));
+            let j2: BoxedOp<'_> = Box::new(Idgj::new(f1, 2, to_table, to_pk, 0, work.clone()));
             Box::new(Filter::new(
                 j2,
                 shift_predicate(o.con_to, 4 + from_table.schema().arity()),
@@ -171,8 +163,9 @@ mod tests {
     use crate::score::{score_catalog, DomainScorer};
     use ts_graph::fixtures::{figure3, DNA, PROTEIN};
 
-    fn setup(threshold: u64) -> (ts_storage::Database, ts_graph::DataGraph, ts_graph::SchemaGraph, crate::Catalog)
-    {
+    fn setup(
+        threshold: u64,
+    ) -> (ts_storage::Database, ts_graph::DataGraph, ts_graph::SchemaGraph, crate::Catalog) {
         let (db, g, schema) = figure3();
         let (mut cat, _) = compute_catalog(&db, &g, &schema, &ComputeOptions::with_l(3));
         prune_catalog(&mut cat, PruneOptions { threshold, max_pruned: 64 });

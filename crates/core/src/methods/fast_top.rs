@@ -88,11 +88,7 @@ mod tests {
             for q in &queries {
                 let fast = eval(&ctx, q);
                 let full = full_top::eval(&ctx, q);
-                assert_eq!(
-                    fast.tid_set(),
-                    full.tid_set(),
-                    "threshold={threshold} query={q:?}"
-                );
+                assert_eq!(fast.tid_set(), full.tid_set(), "threshold={threshold} query={q:?}");
             }
         }
     }

@@ -63,10 +63,8 @@ pub(crate) fn distinct_tids(
     let rho_from = from_table.stats().map(|s| o.con_from.selectivity(s)).unwrap_or(1.0);
     let est_selected = rho_from * from_table.len() as f64;
     let rows = tops_table.len() as f64;
-    let distinct_e1 = tops_table
-        .stats()
-        .map(|s| s.distinct(0).max(1) as f64)
-        .unwrap_or(rows.max(1.0));
+    let distinct_e1 =
+        tops_table.stats().map(|s| s.distinct(0).max(1) as f64).unwrap_or(rows.max(1.0));
     let est_index_cost =
         from_table.len() as f64 + to_table.len() as f64 + est_selected * (1.0 + rows / distinct_e1);
     let est_hash_cost = rows + from_table.len() as f64 + to_table.len() as f64;
@@ -151,13 +149,8 @@ mod tests {
         // from both paths.
         let (db, g, schema, cat) = setup();
         let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat };
-        let q = TopologyQuery::new(
-            PROTEIN,
-            Predicate::contains(1, "vitamin"),
-            DNA,
-            Predicate::True,
-            3,
-        );
+        let q =
+            TopologyQuery::new(PROTEIN, Predicate::contains(1, "vitamin"), DNA, Predicate::True, 3);
         let out = eval(&ctx, &q);
         assert!(!out.topologies.is_empty());
         assert!(out.tid_set().len() < 4);

@@ -28,16 +28,9 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, variant: Variant) -> Eval
     let (from_table, _) = entity_table(ctx, o.espair.from);
     let (to_table, _) = entity_table(ctx, o.espair.to);
 
-    let rho_from = from_table
-        .stats()
-        .map(|s| o.con_from.selectivity(s))
-        .unwrap_or(0.5)
-        .clamp(1e-6, 1.0);
-    let rho_to = to_table
-        .stats()
-        .map(|s| o.con_to.selectivity(s))
-        .unwrap_or(0.5)
-        .clamp(1e-6, 1.0);
+    let rho_from =
+        from_table.stats().map(|s| o.con_from.selectivity(s)).unwrap_or(0.5).clamp(1e-6, 1.0);
+    let rho_to = to_table.stats().map(|s| o.con_to.selectivity(s)).unwrap_or(0.5).clamp(1e-6, 1.0);
 
     let skip_pruned = variant == Variant::Fast;
     // Group cardinalities in score order: LeftTops rows per topology.
@@ -74,10 +67,8 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, variant: Variant) -> Eval
         Variant::Fast => &ctx.catalog.lefttops,
     };
     let tops_rows = tops_table.len() as f64;
-    let distinct_e1 = tops_table
-        .stats()
-        .map(|s| s.distinct(0).max(1) as f64)
-        .unwrap_or(tops_rows.max(1.0));
+    let distinct_e1 =
+        tops_table.stats().map(|s| s.distinct(0).max(1) as f64).unwrap_or(tops_rows.max(1.0));
     let scan_sides = from_table.len() as f64 + to_table.len() as f64;
     let hash_cost = tops_rows + scan_sides + total_rows * rho_from * rho_to;
     let index_cost =
@@ -87,12 +78,9 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, variant: Variant) -> Eval
         // Gated pruned checks: each pruned topology may walk the selected
         // from-side, but the first-witness early exit usually stops far
         // sooner (factor 0.25, calibrated against the engine).
-        let pruned = ctx
-            .catalog
-            .metas()
-            .iter()
-            .filter(|mm| mm.pruned && mm.espair == o.espair)
-            .count() as f64;
+        let pruned =
+            ctx.catalog.metas().iter().filter(|mm| mm.pruned && mm.espair == o.espair).count()
+                as f64;
         regular_cost += 0.25 * pruned * from_table.len() as f64 * rho_from;
     }
 

@@ -91,7 +91,16 @@ pub fn enumerate_schema_topologies(
             }
         }
     }
-    choose(&walks, espair, 0, max_classes.max(1).min(n.max(1)), &mut subset, &mut seen, &mut out, cap);
+    choose(
+        &walks,
+        espair,
+        0,
+        max_classes.max(1).min(n.max(1)),
+        &mut subset,
+        &mut seen,
+        &mut out,
+        cap,
+    );
     out
 }
 
@@ -183,26 +192,25 @@ fn materialize(
     let a = g.add_node(espair.from);
     let b = g.add_node(espair.to);
     let mut block_nodes: Vec<Option<u8>> = vec![None; n_blocks];
-    let mut node_of = |g: &mut LGraph, si: usize, pos: usize, w: &ts_graph::schema_graph::SchemaWalk| -> u8 {
-        if pos == 0 {
-            return a;
-        }
-        if pos == w.types.len() - 1 {
-            return b;
-        }
-        let slot = slots
-            .iter()
-            .position(|&(s, p, _)| s == si && p == pos)
-            .expect("slot exists");
-        let blk = assignment[slot];
-        if let Some(n) = block_nodes[blk] {
-            n
-        } else {
-            let n = g.add_node(slots[slot].2);
-            block_nodes[blk] = Some(n);
-            n
-        }
-    };
+    let mut node_of =
+        |g: &mut LGraph, si: usize, pos: usize, w: &ts_graph::schema_graph::SchemaWalk| -> u8 {
+            if pos == 0 {
+                return a;
+            }
+            if pos == w.types.len() - 1 {
+                return b;
+            }
+            let slot =
+                slots.iter().position(|&(s, p, _)| s == si && p == pos).expect("slot exists");
+            let blk = assignment[slot];
+            if let Some(n) = block_nodes[blk] {
+                n
+            } else {
+                let n = g.add_node(slots[slot].2);
+                block_nodes[blk] = Some(n);
+                n
+            }
+        };
     for (si, &wi) in subset.iter().enumerate() {
         let w = &walks[wi];
         for e in 0..w.rels.len() {

@@ -34,10 +34,8 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, variant: Variant) -> Eval
     // SQL4: evaluate the (un)pruned part fully, then order by score and
     // fetch the first k.
     let tids = full_top::distinct_tids(ctx, q, table, &work);
-    let mut results: Vec<(TopologyId, f64)> = tids
-        .into_iter()
-        .map(|t| (t, ctx.catalog.meta(t).scores[q.scheme.index()]))
-        .collect();
+    let mut results: Vec<(TopologyId, f64)> =
+        tids.into_iter().map(|t| (t, ctx.catalog.meta(t).scores[q.scheme.index()])).collect();
     sort_desc(&mut results);
     results.truncate(q.k);
 
@@ -56,9 +54,9 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, variant: Variant) -> Eval
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         detail: match variant {
             Variant::Full => "full eval + sort + fetch-k over AllTops".into(),
-            Variant::Fast => format!(
-                "full eval + sort + fetch-k over LeftTops; {gated} gated pruned checks"
-            ),
+            Variant::Fast => {
+                format!("full eval + sort + fetch-k over LeftTops; {gated} gated pruned checks")
+            }
         },
     }
 }
@@ -120,8 +118,9 @@ mod tests {
     use ts_graph::fixtures::{figure3, DNA, PROTEIN};
     use ts_storage::Predicate;
 
-    fn setup(threshold: u64) -> (ts_storage::Database, ts_graph::DataGraph, ts_graph::SchemaGraph, crate::Catalog)
-    {
+    fn setup(
+        threshold: u64,
+    ) -> (ts_storage::Database, ts_graph::DataGraph, ts_graph::SchemaGraph, crate::Catalog) {
         let (db, g, schema) = figure3();
         let (mut cat, _) = compute_catalog(&db, &g, &schema, &ComputeOptions::with_l(3));
         prune_catalog(&mut cat, PruneOptions { threshold, max_pruned: 64 });

@@ -94,14 +94,8 @@ pub fn prune_catalog(catalog: &mut Catalog, opts: PruneOptions) -> PruneReport {
         let pruned_sigs: Vec<(u32, TopologyId)> = pruned_ids
             .iter()
             .map(|&tid| {
-                let sig = catalog
-                    .meta(tid)
-                    .path_sig
-                    .clone()
-                    .expect("victims are path-shaped");
-                let sig_id = catalog
-                    .sig_id(&sig)
-                    .expect("pruned topology's signature is interned");
+                let sig = catalog.meta(tid).path_sig.clone().expect("victims are path-shaped");
+                let sig_id = catalog.sig_id(&sig).expect("pruned topology's signature is interned");
                 (sig_id, tid)
             })
             .collect();
@@ -181,9 +175,7 @@ mod tests {
         let t2 = cat
             .metas()
             .iter()
-            .find(|m| {
-                m.espair == pd && m.pruned && m.path_sig.as_ref().map(|s| s.len()) == Some(2)
-            })
+            .find(|m| m.espair == pd && m.pruned && m.path_sig.as_ref().map(|s| s.len()) == Some(2))
             .expect("P-U-D topology pruned")
             .id;
         assert!(cat.excp_contains(78, 215, t2));
@@ -192,9 +184,7 @@ mod tests {
         let t1 = cat
             .metas()
             .iter()
-            .find(|m| {
-                m.espair == pd && m.pruned && m.path_sig.as_ref().map(|s| s.len()) == Some(1)
-            })
+            .find(|m| m.espair == pd && m.pruned && m.path_sig.as_ref().map(|s| s.len()) == Some(1))
             .expect("P-D topology pruned")
             .id;
         assert!(!cat.excp_contains(32, 214, t1));

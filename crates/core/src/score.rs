@@ -48,17 +48,9 @@ impl DomainScorer {
     /// Score one topology.
     pub fn score(&self, meta: &TopologyMeta) -> f64 {
         let g = &meta.graph;
-        let interesting = g
-            .edges
-            .iter()
-            .filter(|&&(_, _, l)| self.interesting_rels.contains(&l))
-            .count() as f64;
-        let distinct_rels = g
-            .edges
-            .iter()
-            .map(|&(_, _, l)| l)
-            .collect::<HashSet<_>>()
-            .len() as f64;
+        let interesting =
+            g.edges.iter().filter(|&&(_, _, l)| self.interesting_rels.contains(&l)).count() as f64;
+        let distinct_rels = g.edges.iter().map(|&(_, _, l)| l).collect::<HashSet<_>>().len() as f64;
         let has_cycle = g.edge_count() >= g.node_count() && g.node_count() > 0;
         let common = (meta.freq.max(1) as f64).log10();
         let mut s = self.w_interesting_edge * interesting
@@ -80,8 +72,7 @@ impl DomainScorer {
 /// * `Rare` — `1 / freq` (rare first).
 /// * `Domain` — the pseudo-expert.
 pub fn score_catalog(catalog: &mut Catalog, domain: &DomainScorer) {
-    let domain_scores: Vec<f64> =
-        catalog.metas().iter().map(|m| domain.score(m)).collect();
+    let domain_scores: Vec<f64> = catalog.metas().iter().map(|m| domain.score(m)).collect();
     for (m, d) in catalog.metas_mut().iter_mut().zip(domain_scores) {
         m.scores[0] = m.freq as f64;
         m.scores[1] = 1.0 / m.freq.max(1) as f64;
@@ -127,16 +118,9 @@ mod tests {
         let pd = EsPair::new(PROTEIN, DNA);
         // T3/T4 (two path classes, 4-5 nodes, cycle-ish) must outscore
         // T1 (single edge) under the pseudo-expert.
-        let metas: Vec<&TopologyMeta> =
-            cat.metas().iter().filter(|m| m.espair == pd).collect();
-        let simple = metas
-            .iter()
-            .find(|m| m.graph.node_count() == 2)
-            .expect("T1 exists");
-        let complex = metas
-            .iter()
-            .find(|m| m.graph.node_count() >= 4)
-            .expect("T3/T4 exist");
+        let metas: Vec<&TopologyMeta> = cat.metas().iter().filter(|m| m.espair == pd).collect();
+        let simple = metas.iter().find(|m| m.graph.node_count() == 2).expect("T1 exists");
+        let complex = metas.iter().find(|m| m.graph.node_count() >= 4).expect("T3/T4 exist");
         assert!(
             complex.scores[2] > simple.scores[2],
             "expert must prefer complex: {} vs {}",

@@ -19,7 +19,9 @@
 
 use std::collections::HashMap;
 
-use ts_graph::{canonical_code, CanonicalCode, DataGraph, InstanceGraphBuilder, LGraph, Path, PathSig};
+use ts_graph::{
+    canonical_code, CanonicalCode, DataGraph, InstanceGraphBuilder, LGraph, Path, PathSig,
+};
 
 /// Guard rails for the Definition-2 representative product.
 #[derive(Debug, Clone, Copy)]
@@ -57,10 +59,7 @@ impl PairTopologies {
 /// Group paths into equivalence classes by signature (Definition 1).
 ///
 /// Returns classes sorted by signature for determinism.
-pub fn path_classes<'p>(
-    g: &DataGraph,
-    paths: &'p [Path],
-) -> Vec<(PathSig, Vec<&'p Path>)> {
+pub fn path_classes<'p>(g: &DataGraph, paths: &'p [Path]) -> Vec<(PathSig, Vec<&'p Path>)> {
     let mut by_sig: HashMap<PathSig, Vec<&'p Path>> = HashMap::new();
     for p in paths {
         by_sig.entry(p.sig(g)).or_default().push(p);

@@ -87,12 +87,8 @@ mod tests {
         // P-U-D via uni_encodes(1), uni_contains(2).
         let (_db, g, schema) = figure3();
         let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 2);
-        let some_pud = pp
-            .map
-            .values()
-            .flatten()
-            .find(|p| p.len() == 2)
-            .expect("a P-U-D path exists");
+        let some_pud =
+            pp.map.values().flatten().find(|p| p.len() == 2).expect("a P-U-D path exists");
         let sig = sig_from_labels(&[PROTEIN, UNIGENE, DNA], &[1, 2]);
         assert_eq!(some_pud.sig(&g), sig);
     }

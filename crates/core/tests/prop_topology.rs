@@ -20,7 +20,11 @@ fn build_db(
     let mut db = Database::new();
     let mk = |db: &mut Database, name: &str| {
         let t = db
-            .create_table(TableSchema::new(name, vec![ColumnDef::new("ID", ValueType::Int)], Some(0)))
+            .create_table(TableSchema::new(
+                name,
+                vec![ColumnDef::new("ID", ValueType::Int)],
+                Some(0),
+            ))
             .unwrap();
         db.declare_entity_set(name, t).unwrap();
         t

@@ -348,8 +348,7 @@ mod tests {
     fn hdgj_matches_idgj_output() {
         let t = inner_table();
         let mut i = Idgj::new(grouped_outer(), 1, &t, 0, 0, Work::new());
-        let inner_scan: BoxedOp<'_> =
-            Box::new(TableScanHelper::new(&t));
+        let inner_scan: BoxedOp<'_> = Box::new(TableScanHelper::new(&t));
         let mut h = Hdgj::new(grouped_outer(), 1, inner_scan, 0, 0, Work::new());
         assert_eq!(collect_all(&mut i), collect_all(&mut h));
     }

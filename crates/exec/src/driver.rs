@@ -36,7 +36,8 @@ pub fn collect_distinct_topk(op: &mut dyn Operator, group_col: usize, k: usize) 
         return out;
     }
     while let Some(row) = op.next() {
-        let is_new = out.last().map(|prev: &Row| prev.get(group_col) != row.get(group_col)).unwrap_or(true);
+        let is_new =
+            out.last().map(|prev: &Row| prev.get(group_col) != row.get(group_col)).unwrap_or(true);
         if is_new {
             out.push(row);
             if out.len() == k {

@@ -52,7 +52,15 @@ pub struct IndexLookupScan<'a> {
 impl<'a> IndexLookupScan<'a> {
     /// Probe the secondary index on `col` for `key`.
     pub fn new(table: &'a Table, col: usize, key: Value, work: Work) -> Self {
-        IndexLookupScan { table, col, key, posting_pos: 0, probed: false, postings: Vec::new(), work }
+        IndexLookupScan {
+            table,
+            col,
+            key,
+            posting_pos: 0,
+            probed: false,
+            postings: Vec::new(),
+            work,
+        }
     }
 }
 

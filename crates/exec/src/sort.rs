@@ -107,11 +107,7 @@ mod tests {
     fn sorts_desc_then_asc() {
         let rows = vec![row![1i64, 5i64], row![2i64, 9i64], row![3i64, 5i64]];
         let scan = ValuesScan::new(rows, Work::new());
-        let mut s = Sort::new(
-            Box::new(scan),
-            vec![(1, Dir::Desc), (0, Dir::Asc)],
-            Work::new(),
-        );
+        let mut s = Sort::new(Box::new(scan), vec![(1, Dir::Desc), (0, Dir::Asc)], Work::new());
         let got = collect_all(&mut s);
         assert_eq!(got, vec![row![2i64, 9i64], row![1i64, 5i64], row![3i64, 5i64]]);
     }
@@ -128,8 +124,7 @@ mod tests {
 
     #[test]
     fn sorted_stream_supports_group_skip() {
-        let rows =
-            vec![row![10i64, 1i64], row![20i64, 2i64], row![10i64, 3i64], row![20i64, 4i64]];
+        let rows = vec![row![10i64, 1i64], row![20i64, 2i64], row![10i64, 3i64], row![20i64, 4i64]];
         let scan = ValuesScan::new(rows, Work::new());
         let mut s = Sort::new(Box::new(scan), vec![(0, Dir::Asc)], Work::new());
         assert!(s.grouped());

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use ts_exec::{
-    collect_all, collect_distinct_groups, BoxedOp, Distinct, Hdgj, HashJoin, Idgj, Sort,
+    collect_all, collect_distinct_groups, BoxedOp, Distinct, HashJoin, Hdgj, Idgj, Sort,
     ValuesScan, Work,
 };
 use ts_storage::{row, ColumnDef, Row, Table, TableSchema, Value, ValueType};

@@ -105,10 +105,8 @@ fn refine(g: &LGraph) -> Vec<u32> {
         let mut distinct: Vec<&(u32, Vec<(u16, u32)>)> = sigs.iter().collect();
         distinct.sort();
         distinct.dedup();
-        let new_colors: Vec<u32> = sigs
-            .iter()
-            .map(|s| distinct.binary_search(&s).expect("sig present") as u32)
-            .collect();
+        let new_colors: Vec<u32> =
+            sigs.iter().map(|s| distinct.binary_search(&s).expect("sig present") as u32).collect();
         if new_colors == colors {
             return colors;
         }
@@ -373,10 +371,8 @@ mod proptests {
     fn arb_graph() -> impl Strategy<Value = LGraph> {
         (2usize..7).prop_flat_map(|n| {
             let labels = proptest::collection::vec(0u16..4, n);
-            let edges = proptest::collection::vec(
-                (0..n as u8, 0..n as u8, 0u16..3),
-                0..(n * (n - 1)),
-            );
+            let edges =
+                proptest::collection::vec((0..n as u8, 0..n as u8, 0u16..3), 0..(n * (n - 1)));
             (labels, edges).prop_map(|(labels, edges)| {
                 let mut g = LGraph { labels, edges: Vec::new() };
                 for (u, v, l) in edges {

@@ -62,12 +62,11 @@ impl DataGraph {
                         detail: "non-integer foreign key".into(),
                     }
                 })?;
-                let to_id = row.get(rel.to_col).try_int().ok_or_else(|| {
-                    StorageError::SchemaMismatch {
+                let to_id =
+                    row.get(rel.to_col).try_int().ok_or_else(|| StorageError::SchemaMismatch {
                         table: rel.name.clone(),
                         detail: "non-integer foreign key".into(),
-                    }
-                })?;
+                    })?;
                 let u = *g.index.get(&(rel.from as u16, from_id)).ok_or_else(|| {
                     StorageError::BadDefinition(format!(
                         "{}: dangling fk {} into {}",

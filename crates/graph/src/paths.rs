@@ -37,10 +37,7 @@ impl Path {
 
     /// `(first, last)` node.
     pub fn endpoints(&self) -> (NodeId, NodeId) {
-        (
-            *self.nodes.first().expect("path has nodes"),
-            *self.nodes.last().expect("path has nodes"),
-        )
+        (*self.nodes.first().expect("path has nodes"), *self.nodes.last().expect("path has nodes"))
     }
 
     /// Label signature identifying the path's isomorphism class.

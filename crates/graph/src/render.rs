@@ -23,24 +23,15 @@ pub fn render(
     rel_name: &dyn Fn(u16) -> String,
 ) -> String {
     let mut out = String::new();
-    let names: Vec<String> = g
-        .labels
-        .iter()
-        .enumerate()
-        .map(|(i, &l)| format!("{}#{}", type_name(l), i))
-        .collect();
+    let names: Vec<String> =
+        g.labels.iter().enumerate().map(|(i, &l)| format!("{}#{}", type_name(l), i)).collect();
     out.push_str("nodes: ");
     out.push_str(&names.join(", "));
     out.push('\n');
     let mut edges = g.edges.clone();
     edges.sort_unstable();
     for (u, v, l) in edges {
-        out.push_str(&format!(
-            "{} --{}-- {}\n",
-            names[u as usize],
-            rel_name(l),
-            names[v as usize]
-        ));
+        out.push_str(&format!("{} --{}-- {}\n", names[u as usize], rel_name(l), names[v as usize]));
     }
     out
 }
@@ -71,8 +62,7 @@ pub fn motif_line(
         }
         s
     } else {
-        let mut labels: Vec<String> =
-            g.labels.iter().map(|&l| type_name(l)).collect();
+        let mut labels: Vec<String> = g.labels.iter().map(|&l| type_name(l)).collect();
         labels.sort();
         format!("{{{} nodes: {}; {} edges}}", g.node_count(), labels.join(","), g.edge_count())
     }
@@ -85,8 +75,7 @@ fn path_order(g: &LGraph) -> Option<Vec<u8>> {
         return None;
     }
     let degs: Vec<usize> = (0..n).map(|v| g.degree(v as u8)).collect();
-    let ends: Vec<u8> =
-        (0..n).filter(|&v| degs[v] == 1).map(|v| v as u8).collect();
+    let ends: Vec<u8> = (0..n).filter(|&v| degs[v] == 1).map(|v| v as u8).collect();
     if n == 1 {
         return Some(vec![0]);
     }
@@ -97,11 +86,7 @@ fn path_order(g: &LGraph) -> Option<Vec<u8>> {
     let mut prev: Option<u8> = None;
     while order.len() < n {
         let cur = *order.last().expect("non-empty");
-        let next = g
-            .neighbors(cur)
-            .into_iter()
-            .map(|(_, w)| w)
-            .find(|&w| Some(w) != prev)?;
+        let next = g.neighbors(cur).into_iter().map(|(_, w)| w).find(|&w| Some(w) != prev)?;
         prev = Some(cur);
         order.push(next);
     }

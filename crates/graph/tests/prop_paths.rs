@@ -16,7 +16,11 @@ fn build_db(
     let mut db = Database::new();
     let mk = |db: &mut Database, name: &str| {
         let t = db
-            .create_table(TableSchema::new(name, vec![ColumnDef::new("ID", ValueType::Int)], Some(0)))
+            .create_table(TableSchema::new(
+                name,
+                vec![ColumnDef::new("ID", ValueType::Int)],
+                Some(0),
+            ))
             .unwrap();
         db.declare_entity_set(name, t).unwrap();
         t
@@ -45,13 +49,19 @@ fn build_db(
         db.table_mut(dt).insert(row![300 + i as i64]).unwrap();
     }
     for &(p, d) in encodes {
-        db.table_mut(enc).insert(row![100 + (p % n_per_set) as i64, 300 + (d % n_per_set) as i64]).unwrap();
+        db.table_mut(enc)
+            .insert(row![100 + (p % n_per_set) as i64, 300 + (d % n_per_set) as i64])
+            .unwrap();
     }
     for &(u, p) in uni_encodes {
-        db.table_mut(ue).insert(row![200 + (u % n_per_set) as i64, 100 + (p % n_per_set) as i64]).unwrap();
+        db.table_mut(ue)
+            .insert(row![200 + (u % n_per_set) as i64, 100 + (p % n_per_set) as i64])
+            .unwrap();
     }
     for &(u, d) in uni_contains {
-        db.table_mut(uc).insert(row![200 + (u % n_per_set) as i64, 300 + (d % n_per_set) as i64]).unwrap();
+        db.table_mut(uc)
+            .insert(row![200 + (u % n_per_set) as i64, 300 + (d % n_per_set) as i64])
+            .unwrap();
     }
     db
 }

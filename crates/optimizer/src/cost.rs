@@ -245,10 +245,8 @@ mod tests {
 
     #[test]
     fn theorem1_monotone_in_k() {
-        let p = stack(
-            vec![op(3.0, 0.3, 1.0), op(1.0, 0.4, 1.0)],
-            vec![50.0, 40.0, 30.0, 20.0, 10.0],
-        );
+        let p =
+            stack(vec![op(3.0, 0.3, 1.0), op(1.0, 0.4, 1.0)], vec![50.0, 40.0, 30.0, 20.0, 10.0]);
         let mut prev = 0.0;
         for k in 1..=5 {
             let e = et_stack_cost(&p, k);

@@ -25,4 +25,6 @@ pub mod cost;
 pub mod planner;
 
 pub use cost::{et_stack_cost, CostModel, DgjOpParams, DgjStackParams};
-pub use planner::{plan_join_order, JoinAlgo, JoinEdge, JoinGraph, PhysicalPlan, PlanProps, Relation};
+pub use planner::{
+    plan_join_order, JoinAlgo, JoinEdge, JoinGraph, PhysicalPlan, PlanProps, Relation,
+};

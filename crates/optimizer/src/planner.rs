@@ -259,14 +259,9 @@ pub fn plan_join_order(jg: &JoinGraph, topk: Option<usize>) -> PlanChoice {
     // Root choice: best regular (full-evaluation) plan vs best ET plan.
     let roots = &best[full as usize];
     assert!(!roots.is_empty(), "join graph must be connected");
-    let best_regular = roots
-        .iter()
-        .min_by(|a, b| a.cost.total_cmp(&b.cost))
-        .expect("non-empty");
-    let best_et = roots
-        .iter()
-        .filter(|c| c.props.early_term)
-        .min_by(|a, b| a.cost.total_cmp(&b.cost));
+    let best_regular = roots.iter().min_by(|a, b| a.cost.total_cmp(&b.cost)).expect("non-empty");
+    let best_et =
+        roots.iter().filter(|c| c.props.early_term).min_by(|a, b| a.cost.total_cmp(&b.cost));
 
     match (topk, best_et) {
         (Some(k), Some(et)) => {
@@ -308,7 +303,11 @@ fn price_et(jg: &JoinGraph, plan: &PhysicalPlan, k: usize) -> f64 {
             JoinAlgo::Hdgj => rel.card, // per-group rescan amortized as the probe
             _ => rel.probe_cost.unwrap_or(1.0),
         };
-        ops.push(DgjOpParams { fanout: (rel.card * sel).max(1e-9), rho: rel.sel, probe_cost: probe });
+        ops.push(DgjOpParams {
+            fanout: (rel.card * sel).max(1e-9),
+            rho: rel.sel,
+            probe_cost: probe,
+        });
         prev = right;
     }
     let groups = vec![card_per_group; m as usize];
@@ -341,9 +340,7 @@ fn connecting_sel(jg: &JoinGraph, mask: u32, right: usize) -> Option<f64> {
 /// Keep only non-dominated candidates: one best plan per property combo,
 /// and drop any candidate beaten in both cost and properties.
 fn offer(slot: &mut Vec<Candidate>, cand: Candidate) {
-    if let Some(existing) =
-        slot.iter_mut().find(|c| c.props == cand.props)
-    {
+    if let Some(existing) = slot.iter_mut().find(|c| c.props == cand.props) {
         if cand.cost < existing.cost {
             *existing = cand;
         }
@@ -471,8 +468,20 @@ mod tests {
     fn disconnected_graph_panics() {
         let jg = JoinGraph {
             relations: vec![
-                Relation { name: "A".into(), card: 1.0, sel: 1.0, probe_cost: None, group_source: false },
-                Relation { name: "B".into(), card: 1.0, sel: 1.0, probe_cost: None, group_source: false },
+                Relation {
+                    name: "A".into(),
+                    card: 1.0,
+                    sel: 1.0,
+                    probe_cost: None,
+                    group_source: false,
+                },
+                Relation {
+                    name: "B".into(),
+                    card: 1.0,
+                    sel: 1.0,
+                    probe_cost: None,
+                    group_source: false,
+                },
             ],
             edges: vec![],
             group_count: 1.0,

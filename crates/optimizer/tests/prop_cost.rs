@@ -7,15 +7,15 @@ use ts_optimizer::{
 };
 
 fn arb_op() -> impl Strategy<Value = DgjOpParams> {
-    (0.1f64..10.0, 0.0f64..1.0, 0.5f64..4.0)
-        .prop_map(|(fanout, rho, probe_cost)| DgjOpParams { fanout, rho, probe_cost })
+    (0.1f64..10.0, 0.0f64..1.0, 0.5f64..4.0).prop_map(|(fanout, rho, probe_cost)| DgjOpParams {
+        fanout,
+        rho,
+        probe_cost,
+    })
 }
 
 fn arb_stack() -> impl Strategy<Value = DgjStackParams> {
-    (
-        proptest::collection::vec(arb_op(), 1..4),
-        proptest::collection::vec(1.0f64..200.0, 1..30),
-    )
+    (proptest::collection::vec(arb_op(), 1..4), proptest::collection::vec(1.0f64..200.0, 1..30))
         .prop_map(|(ops, groups)| DgjStackParams { ops, groups })
 }
 

@@ -88,10 +88,7 @@ impl Database {
 
     /// Table id by name.
     pub fn table_id(&self, name: &str) -> Result<TableId, StorageError> {
-        self.names
-            .get(name)
-            .copied()
-            .ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
+        self.names.get(name).copied().ok_or_else(|| StorageError::NoSuchTable(name.to_string()))
     }
 
     /// Table by name.
@@ -240,7 +237,11 @@ mod tests {
     fn duplicate_table_rejected() {
         let mut db = tiny_db();
         let err = db
-            .create_table(TableSchema::new("Protein", vec![ColumnDef::new("x", ValueType::Int)], None))
+            .create_table(TableSchema::new(
+                "Protein",
+                vec![ColumnDef::new("x", ValueType::Int)],
+                None,
+            ))
             .unwrap_err();
         assert!(matches!(err, StorageError::BadDefinition(_)));
     }

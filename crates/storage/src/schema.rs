@@ -72,10 +72,7 @@ mod tests {
     fn protein_schema() -> TableSchema {
         TableSchema::new(
             "Protein",
-            vec![
-                ColumnDef::new("ID", ValueType::Int),
-                ColumnDef::new("desc", ValueType::Str),
-            ],
+            vec![ColumnDef::new("ID", ValueType::Int), ColumnDef::new("desc", ValueType::Str)],
             Some(0),
         )
     }

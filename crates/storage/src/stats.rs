@@ -125,7 +125,12 @@ impl TableStats {
 
 /// Estimate the selectivity of an equi-join between two columns using the
 /// textbook `1 / max(d1, d2)` rule — the optimizer's `s_i` (§5.4.3 item 6).
-pub fn join_selectivity(left: &TableStats, lcol: ColumnId, right: &TableStats, rcol: ColumnId) -> f64 {
+pub fn join_selectivity(
+    left: &TableStats,
+    lcol: ColumnId,
+    right: &TableStats,
+    rcol: ColumnId,
+) -> f64 {
     let d1 = left.distinct(lcol).max(1);
     let d2 = right.distinct(rcol).max(1);
     1.0 / d1.max(d2) as f64

@@ -70,7 +70,11 @@ impl Table {
                 if ty != self.schema.column_type(c) {
                     return Err(StorageError::SchemaMismatch {
                         table: self.schema.name.clone(),
-                        detail: format!("column {} expects {:?}, got {v:?}", c, self.schema.column_type(c)),
+                        detail: format!(
+                            "column {} expects {:?}, got {v:?}",
+                            c,
+                            self.schema.column_type(c)
+                        ),
                     });
                 }
             }
@@ -124,8 +128,7 @@ impl Table {
 
     /// True if a secondary index exists on `col`.
     pub fn has_index(&self, col: ColumnId) -> bool {
-        self.secondary.contains_key(&col)
-            || self.schema.primary_key == Some(col)
+        self.secondary.contains_key(&col) || self.schema.primary_key == Some(col)
     }
 
     /// Sequential scan with a predicate; returns matching row ids.
@@ -191,10 +194,7 @@ mod tests {
     fn dna_table() -> Table {
         let schema = TableSchema::new(
             "DNA",
-            vec![
-                ColumnDef::new("ID", ValueType::Int),
-                ColumnDef::new("type", ValueType::Str),
-            ],
+            vec![ColumnDef::new("ID", ValueType::Int), ColumnDef::new("type", ValueType::Str)],
             Some(0),
         );
         let mut t = Table::new(schema);
@@ -223,10 +223,7 @@ mod tests {
     #[test]
     fn arity_and_type_checked() {
         let mut t = dna_table();
-        assert!(matches!(
-            t.insert(row![1i64]).unwrap_err(),
-            StorageError::SchemaMismatch { .. }
-        ));
+        assert!(matches!(t.insert(row![1i64]).unwrap_err(), StorageError::SchemaMismatch { .. }));
         assert!(matches!(
             t.insert(row!["notanint", "mRNA"]).unwrap_err(),
             StorageError::SchemaMismatch { .. }

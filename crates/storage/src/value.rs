@@ -196,10 +196,7 @@ mod tests {
     fn total_order_is_null_int_str() {
         let mut vals = vec![Value::str("a"), Value::Int(3), Value::Null, Value::Int(-1)];
         vals.sort();
-        assert_eq!(
-            vals,
-            vec![Value::Null, Value::Int(-1), Value::Int(3), Value::str("a")]
-        );
+        assert_eq!(vals, vec![Value::Null, Value::Int(-1), Value::Int(3), Value::str("a")]);
     }
 
     #[test]

@@ -18,8 +18,7 @@ fn main() {
     let db = &biozon.db;
     let graph = graph::DataGraph::from_db(db).expect("consistent db");
     let schema = graph::SchemaGraph::from_db(db);
-    let (mut catalog, _) =
-        compute_catalog(db, &graph, &schema, &core::ComputeOptions::with_l(3));
+    let (mut catalog, _) = compute_catalog(db, &graph, &schema, &core::ComputeOptions::with_l(3));
     prune_catalog(&mut catalog, PruneOptions { threshold: 200, max_pruned: 32 });
     score_catalog(&mut catalog, &biozon::domain_scorer(&biozon.ids));
     let ctx = QueryContext { db, graph: &graph, schema: &schema, catalog: &catalog };
@@ -49,10 +48,7 @@ fn main() {
         if meta.graph.node_count() < 3 {
             continue; // skip the trivial direct-edge topology in the demo
         }
-        println!(
-            "topology T{tid} (freq {} across the whole database):",
-            meta.freq
-        );
+        println!("topology T{tid} (freq {} across the whole database):", meta.freq);
         print!("{}", render(&meta.graph, &type_name, &rel_name));
         let work = Work::new();
         let instances = retrieve_instances(&ctx, *tid, 2, &work);

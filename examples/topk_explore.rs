@@ -16,8 +16,7 @@ fn main() {
     let db = &biozon.db;
     let graph = graph::DataGraph::from_db(db).expect("consistent db");
     let schema = graph::SchemaGraph::from_db(db);
-    let (mut catalog, _) =
-        compute_catalog(db, &graph, &schema, &core::ComputeOptions::with_l(3));
+    let (mut catalog, _) = compute_catalog(db, &graph, &schema, &core::ComputeOptions::with_l(3));
     prune_catalog(&mut catalog, PruneOptions { threshold: 150, max_pruned: 32 });
     score_catalog(&mut catalog, &biozon::domain_scorer(&biozon.ids));
     let ctx = QueryContext { db, graph: &graph, schema: &schema, catalog: &catalog };

@@ -20,10 +20,7 @@ fn main() {
     let pd = EsPair::new(biozon.ids.protein, biozon.ids.dna);
 
     // Build 1: l = 4, no domain knowledge.
-    let opts_naive = ComputeOptions {
-        es_pairs: Some(vec![pd]),
-        ..ComputeOptions::with_l(4)
-    };
+    let opts_naive = ComputeOptions { es_pairs: Some(vec![pd]), ..ComputeOptions::with_l(4) };
     let (cat_naive, stats_naive) = compute_catalog(db, &graph, &schema, &opts_naive);
 
     // Build 2: l = 4 with the Appendix-B weak-relationship policy.
@@ -35,16 +32,8 @@ fn main() {
     let (cat_pruned, stats_pruned) = compute_catalog(db, &graph, &schema, &opts_pruned);
 
     println!("l = 4 Protein-DNA catalog, without vs with weak-relationship pruning:\n");
-    println!(
-        "{:<28} {:>14} {:>14}",
-        "", "naive l=4", "weak-pruned l=4"
-    );
-    println!(
-        "{:<28} {:>14} {:>14}",
-        "instance paths",
-        stats_naive.paths,
-        stats_pruned.paths
-    );
+    println!("{:<28} {:>14} {:>14}", "", "naive l=4", "weak-pruned l=4");
+    println!("{:<28} {:>14} {:>14}", "instance paths", stats_naive.paths, stats_pruned.paths);
     println!(
         "{:<28} {:>14} {:>14}",
         "paths dropped as weak", stats_naive.weak_paths_dropped, stats_pruned.weak_paths_dropped

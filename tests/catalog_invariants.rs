@@ -34,12 +34,7 @@ fn frequencies_equal_alltops_row_counts() {
             *counts.entry(r.get(2).as_int() as u32).or_insert(0u64) += 1;
         }
         for m in cat.metas() {
-            assert_eq!(
-                m.freq,
-                counts.get(&m.id).copied().unwrap_or(0),
-                "seed {seed} tid {}",
-                m.id
-            );
+            assert_eq!(m.freq, counts.get(&m.id).copied().unwrap_or(0), "seed {seed} tid {}", m.id);
         }
     }
 }
@@ -142,11 +137,8 @@ fn catalog_build_is_deterministic_across_parallelism() {
     let schema = graph::SchemaGraph::from_db(&biozon.db);
     let pairs = vec![EsPair::new(biozon.ids.protein, biozon.ids.dna)];
     let serial = ComputeOptions { es_pairs: Some(pairs.clone()), ..ComputeOptions::with_l(3) };
-    let parallel = ComputeOptions {
-        es_pairs: Some(pairs),
-        parallel: true,
-        ..ComputeOptions::with_l(3)
-    };
+    let parallel =
+        ComputeOptions { es_pairs: Some(pairs), parallel: true, ..ComputeOptions::with_l(3) };
     let (c1, _) = compute_catalog(&biozon.db, &graph, &schema, &serial);
     let (c2, _) = compute_catalog(&biozon.db, &graph, &schema, &parallel);
     assert_eq!(c1.topology_count(), c2.topology_count());

@@ -162,12 +162,8 @@ fn pruning_thresholds_never_change_answers() {
     for threshold in [0u64, 5, 50, u64::MAX] {
         let mut cat = e.catalog.clone();
         prune_catalog(&mut cat, PruneOptions { threshold, max_pruned: 64 });
-        let ctx = QueryContext {
-            db: &e.biozon.db,
-            graph: &e.graph,
-            schema: &e.schema,
-            catalog: &cat,
-        };
+        let ctx =
+            QueryContext { db: &e.biozon.db, graph: &e.graph, schema: &e.schema, catalog: &cat };
         let out = Method::FastTop.eval(&ctx, &q);
         match &reference {
             None => reference = Some(out.tid_set()),

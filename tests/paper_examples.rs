@@ -7,9 +7,9 @@
 //! 3-Topology(Q,G) = {T1,T2,T3,T4}.
 
 use topology_search::prelude::*;
+use ts_core::topology::{pair_topologies, TopOptions};
 use ts_graph::fixtures::{figure3, DNA, PROTEIN};
 use ts_graph::paths::enumerate_pair_paths;
-use ts_core::topology::{pair_topologies, TopOptions};
 
 #[test]
 fn section_2_worked_example() {
@@ -85,12 +85,8 @@ fn isolated_results_versus_topologies() {
     // 'enzyme' keyword ({32, 78, 44}); pair (34, 215) adds two more.
     let enzyme_proteins: Vec<u32> =
         [32i64, 78, 44].iter().map(|&id| g.node(PROTEIN, id).unwrap()).collect();
-    let isolated: usize = pp
-        .map
-        .iter()
-        .filter(|((a, _), _)| enzyme_proteins.contains(a))
-        .map(|(_, v)| v.len())
-        .sum();
+    let isolated: usize =
+        pp.map.iter().filter(|((a, _), _)| enzyme_proteins.contains(a)).map(|(_, v)| v.len()).sum();
     assert_eq!(isolated, 6, "Fig. 4 shows exactly six isolated results");
     let all_paths: usize = pp.map.values().map(Vec::len).sum();
     assert_eq!(all_paths, 8);

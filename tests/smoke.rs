@@ -1,0 +1,48 @@
+//! Fast smoke test: the whole pipeline on a tiny instance.
+//!
+//! Distinct from the heavyweight `end_to_end.rs` (which runs the paper's
+//! selectivity grid at database scale), this generates a
+//! `BiozonConfig::small` database, builds the l = 2 catalog, and checks
+//! that all nine methods of §6 return the same topology set for an
+//! unconstrained Protein–DNA query. It doubles as a guard that every
+//! name in `topology_search::prelude` still resolves.
+
+use topology_search::prelude::*;
+
+#[test]
+fn all_nine_methods_agree_on_a_tiny_instance() {
+    let biozon = biozon::generate(&biozon::BiozonConfig::small(42));
+    let graph = graph::DataGraph::from_db(&biozon.db).expect("generator is consistent");
+    let schema = graph::SchemaGraph::from_db(&biozon.db);
+
+    let (mut catalog, stats) =
+        compute_catalog(&biozon.db, &graph, &schema, &ComputeOptions::with_l(2));
+    assert!(stats.topologies > 0, "tiny instance still produces topologies");
+    prune_catalog(&mut catalog, PruneOptions::default());
+    score_catalog(&mut catalog, &biozon::domain_scorer(&biozon.ids));
+
+    let ctx = QueryContext { db: &biozon.db, graph: &graph, schema: &schema, catalog: &catalog };
+    // k far above the topology count, so top-k truncation cannot make the
+    // ranked methods' sets differ from the full result.
+    let q =
+        TopologyQuery::new(biozon.ids.protein, Predicate::True, biozon.ids.dna, Predicate::True, 2)
+            .with_k(1_000);
+
+    let reference: EvalOutcome = Method::FullTop.eval(&ctx, &q);
+    assert!(!reference.topologies.is_empty(), "Protein-DNA must be connected");
+    for m in Method::all() {
+        let got = m.eval(&ctx, &q);
+        assert_eq!(got.tid_set(), reference.tid_set(), "{} disagrees with Full-Top", m.name());
+    }
+}
+
+#[test]
+fn ranking_schemes_resolve_through_the_prelude() {
+    // Compile-time prelude guard for the names the smoke path above does
+    // not touch, plus a cheap runtime sanity check.
+    for scheme in RankScheme::all() {
+        let pair = EsPair::new(0, 1);
+        assert_eq!(pair, EsPair::new(1, 0), "EsPair is unordered");
+        let _ = scheme;
+    }
+}

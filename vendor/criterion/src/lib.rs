@@ -1,0 +1,137 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Exposes the surface `crates/bench/benches/micro.rs` uses —
+//! [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BatchSize`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — and really measures
+//! wall-clock time (median of a few timed batches after a short warm-up),
+//! printing one line per benchmark. It produces no HTML reports and does
+//! no statistical outlier analysis; swap in the real crate for those.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers resolve.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are sized; only a hint in this stand-in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver. One instance is threaded through every target of a
+/// `criterion_group!`.
+pub struct Criterion {
+    /// Per-benchmark measurement budget.
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_time: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: Vec::new(), budget: self.measurement_time };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm up and size the batch so one batch is ~1/8 of the budget.
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let per_batch =
+            ((self.budget.as_nanos() / 8) / once.as_nanos().max(1)).clamp(1, 100_000) as u64;
+
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                std_black_box(routine());
+            }
+            self.samples.push(t0.elapsed() / per_batch as u32);
+            if self.samples.len() >= 64 {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let input = setup();
+            let t0 = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(t0.elapsed());
+            if self.samples.len() >= 64 {
+                break;
+            }
+        }
+    }
+
+    fn report(&mut self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        self.samples.sort_unstable();
+        let median = self.samples[self.samples.len() / 2];
+        println!(
+            "{id:<40} median {:>12.3} µs  ({} samples)",
+            median.as_secs_f64() * 1e6,
+            self.samples.len()
+        );
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
