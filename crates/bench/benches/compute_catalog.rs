@@ -1,0 +1,159 @@
+//! Offline catalog-build benchmark with a machine-readable trajectory.
+//!
+//! The paper's whole design rests on the offline build being affordable
+//! (§4.1): topology queries are fast *because* `PS(a,b,l)` enumeration
+//! and per-pair canonicalization happened ahead of time. This bench
+//! times `compute_catalog` — serial and parallel — on generated Biozon
+//! instances and writes `BENCH_compute_catalog.json` so every PR records
+//! its perf trajectory (see `EXPERIMENTS.md`).
+//!
+//! Knobs:
+//!
+//! * `TS_BENCH_SIZES` — comma-separated subset of `tiny,small,medium`
+//!   (default `medium`; CI runs `tiny`).
+//! * `TS_BENCH_JSON` — output path (default: `BENCH_compute_catalog.json`
+//!   at the workspace root, independent of cargo's bench cwd).
+//! * `TS_BENCH_SCALE` — extra multiplier on every size (ts-bench wide).
+
+use std::time::Instant;
+
+use ts_bench::{header, paper_espairs, scale_from_env};
+use ts_biozon::{generate, BiozonConfig};
+use ts_core::{compute_catalog, ComputeOptions, ComputeStats};
+use ts_graph::{DataGraph, SchemaGraph};
+
+struct SizeSpec {
+    name: &'static str,
+    scale: f64,
+    iters: usize,
+}
+
+const SIZES: &[SizeSpec] = &[
+    SizeSpec { name: "tiny", scale: 0.05, iters: 15 },
+    SizeSpec { name: "small", scale: 0.1, iters: 9 },
+    SizeSpec { name: "medium", scale: 0.25, iters: 5 },
+];
+
+struct Row {
+    size: &'static str,
+    method: &'static str,
+    scale: f64,
+    entities: usize,
+    edges: usize,
+    pairs: u64,
+    paths: u64,
+    topologies: usize,
+    ns_per_iter: u128,
+    iters: usize,
+    stats: ComputeStats,
+}
+
+fn median(mut xs: Vec<u128>) -> u128 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn run_method(
+    spec: &SizeSpec,
+    scale: f64,
+    parallel: bool,
+    biozon: &ts_biozon::Biozon,
+    g: &DataGraph,
+    schema: &SchemaGraph,
+    rows: &mut Vec<Row>,
+) {
+    let mut opts = ComputeOptions::with_l(3);
+    opts.es_pairs = Some(paper_espairs(&biozon.ids));
+    opts.parallel = parallel;
+
+    // Warm-up (also pre-faults the generated tables).
+    let (_, mut stats) = compute_catalog(&biozon.db, g, schema, &opts);
+    let mut samples = Vec::with_capacity(spec.iters);
+    for _ in 0..spec.iters {
+        let t0 = Instant::now();
+        let (cat, s) = compute_catalog(&biozon.db, g, schema, &opts);
+        samples.push(t0.elapsed().as_nanos());
+        std::hint::black_box(cat.topology_count());
+        stats = s;
+    }
+    let ns = median(samples);
+    let method = if parallel { "parallel" } else { "serial" };
+    println!(
+        "compute_catalog/{}/{:<8} {:>12.3} ms/iter  ({} pairs, {} paths, {} topologies, memo hit rate {:.3})",
+        spec.name,
+        method,
+        ns as f64 / 1e6,
+        stats.pairs,
+        stats.paths,
+        stats.topologies,
+        stats.canon_hit_rate()
+    );
+    rows.push(Row {
+        size: spec.name,
+        method,
+        scale,
+        entities: g.node_count(),
+        edges: g.edge_count(),
+        pairs: stats.pairs,
+        paths: stats.paths,
+        topologies: stats.topologies,
+        ns_per_iter: ns,
+        iters: spec.iters,
+        stats,
+    });
+}
+
+fn emit_json(rows: &[Row]) {
+    // Cargo runs bench executables with cwd = the package dir
+    // (crates/bench), so the default aims at the workspace root, where
+    // the recorded trajectory lives.
+    let path = std::env::var("TS_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_compute_catalog.json").into()
+    });
+    let mut out = String::from(
+        "{\n  \"bench\": \"compute_catalog\",\n  \"unit\": \"ns/iter\",\n  \"rows\": [\n",
+    );
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"size\": \"{}\", \"method\": \"{}\", \"scale\": {}, \"entities\": {}, \"edges\": {}, \"pairs\": {}, \"paths\": {}, \"topologies\": {}, \"ns_per_iter\": {}, \"iters\": {}, \"canon_hits\": {}, \"canon_misses\": {}, \"canon_hit_rate\": {:.4}}}{}\n",
+            r.size,
+            r.method,
+            r.scale,
+            r.entities,
+            r.edges,
+            r.pairs,
+            r.paths,
+            r.topologies,
+            r.ns_per_iter,
+            r.iters,
+            r.stats.canon_hits,
+            r.stats.canon_misses,
+            r.stats.canon_hit_rate(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out).expect("write bench json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    header("compute_catalog: offline build (serial vs parallel)");
+    let sizes = std::env::var("TS_BENCH_SIZES").unwrap_or_else(|_| "medium".into());
+    let global = scale_from_env();
+    let mut rows = Vec::new();
+    for spec in SIZES {
+        if !sizes.split(',').any(|s| s.trim() == spec.name) {
+            continue;
+        }
+        let scale = spec.scale * global;
+        // One generated instance per size, shared by both methods.
+        let biozon = generate(&BiozonConfig::default().scaled(scale));
+        let g = DataGraph::from_db(&biozon.db).expect("generator is consistent");
+        let schema = SchemaGraph::from_db(&biozon.db);
+        run_method(spec, scale, false, &biozon, &g, &schema, &mut rows);
+        run_method(spec, scale, true, &biozon, &g, &schema, &mut rows);
+    }
+    assert!(!rows.is_empty(), "TS_BENCH_SIZES selected no size (tiny,small,medium)");
+    emit_json(&rows);
+}

@@ -61,6 +61,9 @@ pub struct TopologyMeta {
     pub graph: LGraph,
     /// Canonical code (identity).
     pub code: CanonicalCode,
+    /// Interned id of `code` in the catalog's code table — the compact
+    /// key dedup lookups use instead of cloning the code vector.
+    pub code_id: u32,
     /// Frequency: number of entity pairs related by this topology
     /// (`freq(es1, es2, T)` in §4.2.1).
     pub freq: u64,
@@ -95,11 +98,13 @@ pub struct Catalog {
     /// Path-length limit `l` the catalog was computed at.
     pub l: usize,
     metas: Vec<TopologyMeta>,
-    code_index: HashMap<(EsPair, CanonicalCode), TopologyId>,
+    code_index: HashMap<(EsPair, u32), TopologyId>,
     /// Per-pair records, sorted by (espair, e1, e2) after finalize.
     pub pairs: Vec<PairRecord>,
     sigs: Vec<PathSig>,
     sig_index: HashMap<PathSig, u32>,
+    codes: Vec<CanonicalCode>,
+    code_ids: HashMap<CanonicalCode, u32>,
     /// Pairs whose Definition-2 product was truncated by guard rails.
     pub truncated_pairs: u64,
     /// AllTops(E1, E2, TID) — indexes on E1, E2, TID.
@@ -133,6 +138,8 @@ impl Catalog {
             pairs: Vec::new(),
             sigs: Vec::new(),
             sig_index: HashMap::new(),
+            codes: Vec::new(),
+            code_ids: HashMap::new(),
             truncated_pairs: 0,
             alltops: Table::new(tops_schema("AllTops")),
             lefttops: Table::new(tops_schema("LeftTops")),
@@ -167,6 +174,33 @@ impl Catalog {
         self.sigs.len()
     }
 
+    /// Intern a canonical code, returning its id. Lookups borrow the
+    /// code; it is cloned only the first time it is seen.
+    pub fn intern_code(&mut self, code: &CanonicalCode) -> u32 {
+        if let Some(&id) = self.code_ids.get(code) {
+            return id;
+        }
+        let id = self.codes.len() as u32;
+        self.code_ids.insert(code.clone(), id);
+        self.codes.push(code.clone());
+        id
+    }
+
+    /// Canonical code by interned id.
+    pub fn code(&self, id: u32) -> &CanonicalCode {
+        &self.codes[id as usize]
+    }
+
+    /// Id of an interned code, if present.
+    pub fn code_id(&self, code: &CanonicalCode) -> Option<u32> {
+        self.code_ids.get(code).copied()
+    }
+
+    /// Number of distinct canonical codes interned.
+    pub fn code_count(&self) -> usize {
+        self.codes.len()
+    }
+
     /// Intern a topology (espair + canonical code), returning its id.
     pub fn intern_topology(
         &mut self,
@@ -175,16 +209,18 @@ impl Catalog {
         code: CanonicalCode,
         path_sig: Option<PathSig>,
     ) -> TopologyId {
-        if let Some(&id) = self.code_index.get(&(espair, code.clone())) {
+        let code_id = self.intern_code(&code);
+        if let Some(&id) = self.code_index.get(&(espair, code_id)) {
             return id;
         }
         let id = self.metas.len() as TopologyId;
-        self.code_index.insert((espair, code.clone()), id);
+        self.code_index.insert((espair, code_id), id);
         self.metas.push(TopologyMeta {
             id,
             espair,
             graph,
             code,
+            code_id,
             freq: 0,
             path_sig,
             pruned: false,
@@ -211,6 +247,8 @@ impl Catalog {
                 self.metas[tid as usize].freq += 1;
             }
         }
+        let total_rows: usize = self.pairs.iter().map(|p| p.topos.len()).sum();
+        self.alltops.reserve(total_rows);
         for p in &self.pairs {
             for &tid in &p.topos {
                 self.alltops.insert(row![p.e1, p.e2, tid as i64]).expect("alltops schema is fixed");
@@ -221,16 +259,10 @@ impl Catalog {
         self.alltops.create_index(2);
         self.alltops.analyze();
 
-        // LeftTops starts as a full copy (under its own name).
-        let mut lefttops = Table::new(tops_schema("LeftTops"));
-        for r in self.alltops.rows() {
-            lefttops.insert(r.clone()).expect("copy of valid row");
-        }
-        lefttops.create_index(0);
-        lefttops.create_index(1);
-        lefttops.create_index(2);
-        lefttops.analyze();
-        self.lefttops = lefttops;
+        // LeftTops starts as a full copy (under its own name) — cloned
+        // wholesale rather than re-inserted, re-indexed, and re-analyzed
+        // row by row.
+        self.lefttops = self.alltops.clone_renamed("LeftTops");
         self.excptops.create_index(0);
         self.excptops.analyze();
     }

@@ -8,23 +8,33 @@
 //! source entity (see `ts-graph::paths`), then applies Definition 2 per
 //! pair and interns the resulting canonical codes.
 //!
-//! The per-source work is embarrassingly parallel; with
-//! [`ComputeOptions::parallel`] the sources of each entity-set pair are
-//! sharded across threads (crossbeam scoped threads), and the shards'
-//! results are merged and interned in deterministic order so parallel
-//! and serial builds produce identical catalogs.
+//! This is the system's hot path — online queries are only fast because
+//! this finished — so it is built allocation-lean:
+//!
+//! * each worker enumerates into a reusable [`PathArena`] (no `Vec` pair
+//!   per instance path) and groups paths by destination with one sorted
+//!   scratch vector (no per-source hash map);
+//! * canonical codes are memoized per worker ([`CanonMemo`]), so the
+//!   backtracking search runs once per distinct union structure instead
+//!   of once per pair — the hit rate is reported in [`ComputeStats`];
+//! * with [`ComputeOptions::parallel`], workers pull chunks of source
+//!   entities off an atomic counter (work stealing — no static shard can
+//!   straggle) under `std::thread::scope`, and results are merged and
+//!   interned in deterministic order so parallel and serial builds
+//!   produce identical catalogs.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use ts_graph::{CanonicalCode, DataGraph, LGraph, Path, PathSig, SchemaGraph};
+use ts_graph::{DataGraph, PathArena, SchemaGraph};
 use ts_storage::Database;
 
 use crate::catalog::{Catalog, EsPair, PairRecord};
-use crate::topology::{pair_topologies, TopOptions};
+use crate::topology::{pair_topologies, CanonMemo, PairTopologies, TopOptions};
 use crate::weak::WeakPolicy;
 
 /// Options for the offline computation.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ComputeOptions {
     /// Path-length limit `l`.
     pub l: usize,
@@ -36,8 +46,25 @@ pub struct ComputeOptions {
     /// Domain-knowledge weak-relationship pruning (§6.2.3): banned path
     /// signatures are dropped before topology formation.
     pub weak_policy: Option<WeakPolicy>,
-    /// Shard source entities across threads.
+    /// Pull source entities off a shared work queue across threads.
     pub parallel: bool,
+    /// Minimum sources per entity-set pair before threads are spawned;
+    /// below it the serial path is cheaper. Tests lower it to force the
+    /// parallel machinery onto tiny fixtures.
+    pub min_parallel_sources: usize,
+}
+
+impl Default for ComputeOptions {
+    fn default() -> Self {
+        ComputeOptions {
+            l: 0,
+            top_opts: TopOptions::default(),
+            es_pairs: None,
+            weak_policy: None,
+            parallel: false,
+            min_parallel_sources: 64,
+        }
+    }
 }
 
 impl ComputeOptions {
@@ -60,17 +87,31 @@ pub struct ComputeStats {
     pub truncated_pairs: u64,
     /// Distinct topologies interned.
     pub topologies: usize,
+    /// Canonicalizer memo hits (union graphs answered without running
+    /// the backtracking search).
+    pub canon_hits: u64,
+    /// Canonicalizer memo misses (backtracking searches actually run).
+    pub canon_misses: u64,
     /// Wall-clock milliseconds.
     pub millis: f64,
+}
+
+impl ComputeStats {
+    /// Fraction of canonicalizations answered from the memo.
+    pub fn canon_hit_rate(&self) -> f64 {
+        let total = self.canon_hits + self.canon_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.canon_hits as f64 / total as f64
+    }
 }
 
 /// Result of computing one pair, before interning.
 struct LocalPair {
     e1: i64,
     e2: i64,
-    unions: Vec<(LGraph, CanonicalCode)>,
-    sigs: Vec<PathSig>,
-    truncated: bool,
+    tops: PairTopologies,
     path_count: u64,
 }
 
@@ -86,9 +127,16 @@ pub fn compute_catalog(
     let mut catalog = Catalog::new(opts.l);
     let mut stats = ComputeStats::default();
 
-    let es_pairs = opts.es_pairs.clone().unwrap_or_else(|| default_es_pairs(db, schema, opts.l));
+    let default_pairs;
+    let es_pairs: &[EsPair] = match &opts.es_pairs {
+        Some(pairs) => pairs,
+        None => {
+            default_pairs = default_es_pairs(db, schema, opts.l);
+            &default_pairs
+        }
+    };
 
-    for espair in es_pairs {
+    for &espair in es_pairs {
         let locals = compute_espair(g, schema, espair, opts, &mut stats);
         intern_locals(&mut catalog, espair, locals, &mut stats);
     }
@@ -115,6 +163,97 @@ pub fn default_es_pairs(db: &Database, schema: &SchemaGraph, l: usize) -> Vec<Es
     out
 }
 
+/// Per-thread state of the offline build: reusable enumeration buffers
+/// plus the canonicalizer memo. One per worker; nothing is shared, so
+/// the hot loop takes no locks.
+struct Worker<'a> {
+    g: &'a DataGraph,
+    reach: &'a [Vec<bool>],
+    espair: EsPair,
+    opts: &'a ComputeOptions,
+    /// Shared path store, cleared per source.
+    arena: PathArena,
+    /// `(destination, arena index)` scratch, sorted to group by pair.
+    keyed: Vec<(u32, u32)>,
+    memo: CanonMemo,
+    locals: Vec<LocalPair>,
+    dropped: u64,
+}
+
+impl<'a> Worker<'a> {
+    fn new(
+        g: &'a DataGraph,
+        reach: &'a [Vec<bool>],
+        espair: EsPair,
+        opts: &'a ComputeOptions,
+    ) -> Self {
+        Worker {
+            g,
+            reach,
+            espair,
+            opts,
+            arena: PathArena::new(),
+            keyed: Vec::new(),
+            memo: CanonMemo::new(),
+            locals: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Enumerate and compute every pair reachable from source `a`.
+    fn run_source(&mut self, a: u32) {
+        self.arena.clear();
+        self.keyed.clear();
+        ts_graph::paths_from_into(
+            self.g,
+            self.reach,
+            a,
+            self.espair.to,
+            self.opts.l,
+            &mut self.arena,
+        );
+        for idx in 0..self.arena.len() {
+            let p = self.arena.get(idx);
+            let (_, b) = p.endpoints();
+            if self.espair.from == self.espair.to && a > b {
+                continue; // same-type pairs discovered from both ends
+            }
+            if let Some(policy) = &self.opts.weak_policy {
+                if !policy.allows(self.g, p) {
+                    self.dropped += 1;
+                    continue;
+                }
+            }
+            self.keyed.push((b, idx as u32));
+        }
+        // Group by destination: one sort of the scratch vector replaces
+        // the seed's per-source hash map (and its key re-hash per group).
+        self.keyed.sort_unstable();
+        let mut i = 0;
+        while i < self.keyed.len() {
+            let b = self.keyed[i].0;
+            let mut j = i;
+            while j < self.keyed.len() && self.keyed[j].0 == b {
+                j += 1;
+            }
+            let refs: Vec<ts_graph::PathRef<'_>> =
+                self.keyed[i..j].iter().map(|&(_, idx)| self.arena.get(idx as usize)).collect();
+            let tops = pair_topologies(self.g, &refs, self.opts.top_opts, &mut self.memo);
+            self.locals.push(LocalPair {
+                e1: self.g.node_entity(a),
+                e2: self.g.node_entity(b),
+                tops,
+                path_count: (j - i) as u64,
+            });
+            i = j;
+        }
+    }
+
+    fn finish(self) -> (Vec<LocalPair>, u64, u64, u64) {
+        (self.locals, self.dropped, self.memo.hits, self.memo.misses)
+    }
+}
+
 fn compute_espair(
     g: &DataGraph,
     schema: &SchemaGraph,
@@ -122,82 +261,72 @@ fn compute_espair(
     opts: &ComputeOptions,
     stats: &mut ComputeStats,
 ) -> Vec<LocalPair> {
-    let sources: Vec<u32> = g.nodes_of_type(espair.from).to_vec();
+    let sources: &[u32] = g.nodes_of_type(espair.from);
     if sources.is_empty() {
         return Vec::new();
     }
-    if !opts.parallel || sources.len() < 64 {
-        let (locals, dropped) = run_shard(g, schema, espair, &sources, opts);
-        stats.weak_paths_dropped += dropped;
-        return locals;
-    }
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16);
-    let chunk = sources.len().div_ceil(threads);
-    let mut results: Vec<(Vec<LocalPair>, u64)> = Vec::new();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = sources
-            .chunks(chunk)
-            .map(|shard| s.spawn(move || run_shard(g, schema, espair, shard, opts)))
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("shard thread panicked"));
+    let reach = schema.reach_table(espair.to, opts.l);
+
+    let mut results: Vec<(Vec<LocalPair>, u64, u64, u64)> = Vec::new();
+    if !opts.parallel || sources.len() < opts.min_parallel_sources {
+        let mut w = Worker::new(g, &reach, espair, opts);
+        for &a in sources {
+            w.run_source(a);
         }
-    });
+        results.push(w.finish());
+    } else {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(16)
+            .min(sources.len());
+        // Chunked work stealing: workers pull the next chunk of sources
+        // off an atomic cursor, so a straggler chunk (one hub entity with
+        // a huge path neighbourhood) never idles the other threads the
+        // way the seed's static equal shards did. Chunks are small enough
+        // to balance, large enough to keep cursor traffic negligible.
+        let chunk = (sources.len() / (threads * 8)).clamp(1, 256);
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let reach = &reach;
+                    s.spawn(move || {
+                        let mut w = Worker::new(g, reach, espair, opts);
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= sources.len() {
+                                break;
+                            }
+                            for &a in &sources[start..(start + chunk).min(sources.len())] {
+                                w.run_source(a);
+                            }
+                        }
+                        w.finish()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("worker thread panicked"));
+            }
+        });
+    }
+
     let mut locals = Vec::new();
-    for (mut l, dropped) in results {
+    for (mut l, dropped, hits, misses) in results {
         stats.weak_paths_dropped += dropped;
+        stats.canon_hits += hits;
+        stats.canon_misses += misses;
         locals.append(&mut l);
     }
     locals
 }
 
-/// Enumerate and compute the pairs reachable from `sources`.
-fn run_shard(
-    g: &DataGraph,
-    schema: &SchemaGraph,
-    espair: EsPair,
-    sources: &[u32],
-    opts: &ComputeOptions,
-) -> (Vec<LocalPair>, u64) {
-    use std::collections::HashMap;
-    let reach = schema.reach_table(espair.to, opts.l);
-    let mut dropped = 0u64;
-    let mut out = Vec::new();
-    for &a in sources {
-        // Group this source's paths by destination.
-        let mut by_dest: HashMap<u32, Vec<Path>> = HashMap::new();
-        for p in ts_graph::paths_from(g, &reach, a, espair.to, opts.l) {
-            let (_, b) = p.endpoints();
-            if espair.from == espair.to && a > b {
-                continue; // same-type pairs discovered from both ends
-            }
-            if let Some(policy) = &opts.weak_policy {
-                if !policy.allows(g, &p) {
-                    dropped += 1;
-                    continue;
-                }
-            }
-            by_dest.entry(b).or_default().push(p);
-        }
-        let mut dests: Vec<u32> = by_dest.keys().copied().collect();
-        dests.sort_unstable();
-        for b in dests {
-            let paths = &by_dest[&b];
-            let t = pair_topologies(g, paths, opts.top_opts);
-            out.push(LocalPair {
-                e1: g.node_entity(a),
-                e2: g.node_entity(b),
-                unions: t.unions,
-                sigs: t.classes,
-                truncated: t.truncated,
-                path_count: paths.len() as u64,
-            });
-        }
-    }
-    (out, dropped)
-}
-
-/// Intern shard results deterministically.
+/// Intern worker results deterministically: pairs are sorted by entity
+/// ids before touching the catalog, so the interning order — and with it
+/// every id in the catalog — is independent of how many workers ran and
+/// which chunks they pulled.
 fn intern_locals(
     catalog: &mut Catalog,
     espair: EsPair,
@@ -205,15 +334,16 @@ fn intern_locals(
     stats: &mut ComputeStats,
 ) {
     locals.sort_by_key(|p| (p.e1, p.e2));
+    catalog.pairs.reserve(locals.len());
     for lp in locals {
         stats.pairs += 1;
         stats.paths += lp.path_count;
-        if lp.truncated {
+        if lp.tops.truncated {
             stats.truncated_pairs += 1;
         }
-        let sigs: Vec<u32> = lp.sigs.into_iter().map(|s| catalog.intern_sig(s)).collect();
-        let mut topos = Vec::with_capacity(lp.unions.len());
-        for (graph, code) in lp.unions {
+        let sigs: Vec<u32> = lp.tops.classes.into_iter().map(|s| catalog.intern_sig(s)).collect();
+        let mut topos = Vec::with_capacity(lp.tops.unions.len());
+        for (graph, code) in lp.tops.unions {
             let path_sig = path_sig_of_graph(&graph, espair);
             topos.push(catalog.intern_topology(espair, graph, code, path_sig));
         }
@@ -226,7 +356,7 @@ fn intern_locals(
 /// If `graph` is a single simple path whose two endpoints carry the
 /// espair's entity-set labels, return the path's signature. Such
 /// topologies are eligible for pruning with an online path check.
-pub fn path_sig_of_graph(graph: &LGraph, espair: EsPair) -> Option<PathSig> {
+pub fn path_sig_of_graph(graph: &ts_graph::LGraph, espair: EsPair) -> Option<ts_graph::PathSig> {
     let n = graph.node_count();
     if n < 2 || graph.edge_count() != n - 1 {
         return None;
@@ -269,7 +399,10 @@ mod tests {
 
     fn build(parallel: bool) -> (Catalog, ComputeStats) {
         let (db, g, schema) = figure3();
-        let opts = ComputeOptions { l: 3, parallel, ..ComputeOptions::with_l(3) };
+        // min_parallel_sources = 1 forces real threads even on the tiny
+        // figure-3 fixture, so the work-stealing path is exercised.
+        let opts =
+            ComputeOptions { parallel, min_parallel_sources: 1, ..ComputeOptions::with_l(3) };
         compute_catalog(&db, &g, &schema, &opts)
     }
 
@@ -293,18 +426,30 @@ mod tests {
 
     #[test]
     fn parallel_build_matches_serial() {
-        let (c1, _) = build(false);
-        let (c2, _) = build(true);
+        let (c1, s1) = build(false);
+        let (c2, s2) = build(true);
         assert_eq!(c1.topology_count(), c2.topology_count());
+        assert_eq!(c1.sig_count(), c2.sig_count());
         assert_eq!(c1.pairs.len(), c2.pairs.len());
         for (a, b) in c1.pairs.iter().zip(c2.pairs.iter()) {
             assert_eq!((a.espair, a.e1, a.e2), (b.espair, b.e1, b.e2));
             assert_eq!(a.topos, b.topos);
+            assert_eq!(a.sigs, b.sigs);
         }
         for (m1, m2) in c1.metas().iter().zip(c2.metas().iter()) {
             assert_eq!(m1.code, m2.code);
+            assert_eq!(m1.code_id, m2.code_id);
             assert_eq!(m1.freq, m2.freq);
+            assert_eq!(m1.espair, m2.espair);
+            assert_eq!(m1.path_sig, m2.path_sig);
         }
+        // The materialized tables must agree row for row as well.
+        assert_eq!(c1.alltops.len(), c2.alltops.len());
+        for (r1, r2) in c1.alltops.rows().iter().zip(c2.alltops.rows()) {
+            assert_eq!(r1, r2);
+        }
+        // Aggregate work is identical even though memo locality differs.
+        assert_eq!((s1.pairs, s1.paths), (s2.pairs, s2.paths));
     }
 
     #[test]
@@ -352,6 +497,16 @@ mod tests {
         }
         // T1 (P-D) and T2 (P-U-D) are paths; T3, T4 are not.
         assert_eq!(path_shaped, 2);
+    }
+
+    #[test]
+    fn canon_memo_hit_rate_reported() {
+        let (_, stats) = build(false);
+        assert!(stats.canon_misses > 0, "at least one real canonicalization runs");
+        assert!(stats.canon_hits > 0, "figure-3 repeats topology structures across pairs");
+        let rate = stats.canon_hit_rate();
+        assert!(rate > 0.0 && rate < 1.0, "hit rate {rate} out of range");
+        assert_eq!(ComputeStats::default().canon_hit_rate(), 0.0);
     }
 
     #[test]

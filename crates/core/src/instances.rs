@@ -59,17 +59,17 @@ pub fn retrieve_instances(
 
         // Recompute the pair's paths and find a representative choice
         // whose union matches the topology.
-        let paths: Vec<ts_graph::Path> =
-            ts_graph::paths_from(ctx.graph, &reach, a, espair.to, ctx.catalog.l)
-                .into_iter()
-                .filter(|p| p.endpoints().1 == b)
-                .collect();
+        let mut arena = ts_graph::PathArena::new();
+        ts_graph::paths_from_into(ctx.graph, &reach, a, espair.to, ctx.catalog.l, &mut arena);
+        let paths: Vec<ts_graph::PathRef<'_>> =
+            arena.iter().filter(|p| p.endpoints().1 == b).collect();
         work.tick(paths.len() as u64);
         let classes = path_classes(ctx.graph, &paths);
         if classes.is_empty() {
             continue;
         }
-        let reps: Vec<&[&ts_graph::Path]> = classes.iter().map(|(_, ps)| ps.as_slice()).collect();
+        let reps: Vec<&[ts_graph::PathRef<'_>]> =
+            classes.iter().map(|(_, ps)| ps.as_slice()).collect();
         let mut idx = vec![0usize; reps.len()];
         'product: loop {
             let mut builder = InstanceGraphBuilder::new();

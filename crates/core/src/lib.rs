@@ -50,5 +50,5 @@ pub use methods::{EvalOutcome, Method, QueryContext};
 pub use prune::{prune_catalog, PruneOptions, PruneReport};
 pub use query::{RankScheme, TopologyQuery};
 pub use score::{score_catalog, DomainScorer};
-pub use topology::{pair_topologies, PairTopologies, TopOptions};
+pub use topology::{pair_topologies, CanonMemo, PairTopologies, TopOptions};
 pub use weak::WeakPolicy;

@@ -259,7 +259,16 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
                 }
             }
             for (_bnode, ps) in by_dest {
-                let t = pair_topologies(ctx.graph, &ps, Default::default());
+                let refs: Vec<ts_graph::PathRef<'_>> =
+                    ps.iter().map(ts_graph::Path::as_ref).collect();
+                // A fresh memo per group: the SQL baseline deliberately
+                // shares no work across its per-topology queries (§3.1).
+                let t = pair_topologies(
+                    ctx.graph,
+                    &refs,
+                    Default::default(),
+                    &mut crate::topology::CanonMemo::new(),
+                );
                 work.tick(t.unions.len() as u64);
                 if t.unions.iter().any(|(_, code)| code == target) {
                     results.push((tid, 0.0));

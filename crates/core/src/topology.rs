@@ -16,11 +16,18 @@
 //! precompute at l=4). [`TopOptions`] bounds both the representatives
 //! considered per class and the total product; truncation is *counted and
 //! reported*, never silent.
+//!
+//! Canonicalization is the expensive step — a nauty-style backtracking
+//! search per union graph — and across a database most unions are
+//! structurally identical (every pair connected by a single P-U-D path
+//! builds the same labeled graph). [`CanonMemo`] caches codes keyed by
+//! the built union graph, so the backtracking search runs once per
+//! distinct structure instead of once per pair.
 
 use std::collections::HashMap;
 
 use ts_graph::{
-    canonical_code, CanonicalCode, DataGraph, InstanceGraphBuilder, LGraph, Path, PathSig,
+    canonical_code, CanonicalCode, DataGraph, InstanceGraphBuilder, LGraph, PathRef, PathSig,
 };
 
 /// Guard rails for the Definition-2 representative product.
@@ -35,6 +42,74 @@ pub struct TopOptions {
 impl Default for TopOptions {
     fn default() -> Self {
         TopOptions { max_reps_per_class: 32, max_product: 4096 }
+    }
+}
+
+/// Memo table for [`ts_graph::canonical_code`] over Definition-2 union
+/// graphs.
+///
+/// Keyed by the built [`LGraph`] itself (labels + normalized edge list).
+/// Union graphs are constructed by relabeling data-graph entities to
+/// local indices in path-visit order, so two pairs whose chosen
+/// representatives have the same label sequences and the same sharing
+/// pattern — i.e. the same topology, the overwhelmingly common case —
+/// produce byte-identical graphs and share one backtracking run.
+/// Structurally distinct builds of isomorphic graphs each run the search
+/// once and converge to equal codes, so memoization never changes
+/// results, only skips repeated work.
+#[derive(Debug, Clone, Default)]
+pub struct CanonMemo {
+    map: HashMap<LGraph, CanonicalCode>,
+    /// Single-path unions keyed by the path's signature. The canonical
+    /// code is orientation-invariant, so the signature (itself reversal-
+    /// normalized) determines it exactly — this catches the reversed-
+    /// orientation builds the byte-wise graph key cannot.
+    path_codes: HashMap<PathSig, CanonicalCode>,
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that ran the backtracking search.
+    pub misses: u64,
+}
+
+impl CanonMemo {
+    /// Empty memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonical code of `union`, computed at most once per distinct
+    /// (byte-wise) graph.
+    pub fn code_of(&mut self, union: &LGraph) -> CanonicalCode {
+        if let Some(code) = self.map.get(union) {
+            self.hits += 1;
+            return code.clone();
+        }
+        self.misses += 1;
+        let code = canonical_code(union);
+        self.map.insert(union.clone(), code.clone());
+        code
+    }
+
+    /// Canonical code of a single-path union with signature `sig`.
+    pub fn code_of_path(&mut self, sig: &PathSig, union: &LGraph) -> CanonicalCode {
+        if let Some(code) = self.path_codes.get(sig) {
+            self.hits += 1;
+            return code.clone();
+        }
+        self.misses += 1;
+        let code = canonical_code(union);
+        self.path_codes.insert(sig.clone(), code.clone());
+        code
+    }
+
+    /// Number of distinct structures memoized.
+    pub fn len(&self) -> usize {
+        self.map.len() + self.path_codes.len()
+    }
+
+    /// True when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty() && self.path_codes.is_empty()
     }
 }
 
@@ -59,24 +134,49 @@ impl PairTopologies {
 /// Group paths into equivalence classes by signature (Definition 1).
 ///
 /// Returns classes sorted by signature for determinism.
-pub fn path_classes<'p>(g: &DataGraph, paths: &'p [Path]) -> Vec<(PathSig, Vec<&'p Path>)> {
-    let mut by_sig: HashMap<PathSig, Vec<&'p Path>> = HashMap::new();
-    for p in paths {
+pub fn path_classes<'p>(g: &DataGraph, paths: &[PathRef<'p>]) -> Vec<(PathSig, Vec<PathRef<'p>>)> {
+    let mut by_sig: HashMap<PathSig, Vec<PathRef<'p>>> = HashMap::new();
+    for &p in paths {
         by_sig.entry(p.sig(g)).or_default().push(p);
     }
-    let mut classes: Vec<(PathSig, Vec<&'p Path>)> = by_sig.into_iter().collect();
+    let mut classes: Vec<(PathSig, Vec<PathRef<'p>>)> = by_sig.into_iter().collect();
     classes.sort_by(|a, b| a.0.cmp(&b.0));
     classes
 }
 
-/// Compute `l-Top(a,b)` from the pair's path set (Definition 2).
-pub fn pair_topologies(g: &DataGraph, paths: &[Path], opts: TopOptions) -> PairTopologies {
+/// Compute `l-Top(a,b)` from the pair's path set (Definition 2),
+/// canonicalizing through `memo`.
+pub fn pair_topologies(
+    g: &DataGraph,
+    paths: &[PathRef<'_>],
+    opts: TopOptions,
+    memo: &mut CanonMemo,
+) -> PairTopologies {
+    // Fast path for the dominant case: a pair connected by exactly one
+    // instance path has exactly one class and one union — the path
+    // itself. Skips the class map, the odometer, and the dedup map.
+    if let [p] = paths {
+        let sig = p.sig(g);
+        let mut b = InstanceGraphBuilder::new();
+        for i in 0..p.rels.len() {
+            let (u, v) = (p.nodes[i], p.nodes[i + 1]);
+            b.edge(u, g.node_type(u), v, g.node_type(v), p.rels[i]);
+        }
+        let union = b.build();
+        let code = memo.code_of_path(&sig, &union);
+        return PairTopologies {
+            unions: vec![(union, code)],
+            classes: vec![sig],
+            truncated: false,
+        };
+    }
+
     let classes = path_classes(g, paths);
     let sigs: Vec<PathSig> = classes.iter().map(|(s, _)| s.clone()).collect();
     let mut truncated = false;
 
     // Representatives per class, capped.
-    let reps: Vec<&[&Path]> = classes
+    let reps: Vec<&[PathRef<'_>]> = classes
         .iter()
         .map(|(_, ps)| {
             if ps.len() > opts.max_reps_per_class {
@@ -109,7 +209,7 @@ pub fn pair_topologies(g: &DataGraph, paths: &[Path], opts: TopOptions) -> PairT
                 }
             }
             let union = b.build();
-            let code = canonical_code(&union);
+            let code = memo.code_of(&union);
             seen.entry(code).or_insert(union);
 
             // Advance the odometer.
@@ -140,6 +240,16 @@ mod tests {
     use ts_graph::fixtures::{figure3, DNA, PROTEIN};
     use ts_graph::paths::enumerate_pair_paths;
 
+    fn tops_of(
+        g: &DataGraph,
+        pp: &ts_graph::PairPaths,
+        a: u32,
+        b: u32,
+        opts: TopOptions,
+    ) -> PairTopologies {
+        pair_topologies(g, &pp.paths(a, b), opts, &mut CanonMemo::new())
+    }
+
     #[test]
     fn l_top_78_215_is_t3_and_t4() {
         // Paper §2.2: 3-Top(78,215) = { T3, T4 } — two topologies, because
@@ -149,7 +259,7 @@ mod tests {
         let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
         let p78 = g.node(PROTEIN, 78).unwrap();
         let d215 = g.node(DNA, 215).unwrap();
-        let t = pair_topologies(&g, &pp.map[&(p78, d215)], TopOptions::default());
+        let t = tops_of(&g, &pp, p78, d215, TopOptions::default());
         assert_eq!(t.class_count(), 2);
         assert_eq!(t.unions.len(), 2, "expected T3 and T4");
         assert!(!t.truncated);
@@ -167,7 +277,7 @@ mod tests {
         let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
         let p44 = g.node(PROTEIN, 44).unwrap();
         let d742 = g.node(DNA, 742).unwrap();
-        let t = pair_topologies(&g, &pp.map[&(p44, d742)], TopOptions::default());
+        let t = tops_of(&g, &pp, p44, d742, TopOptions::default());
         assert_eq!(t.class_count(), 1);
         assert_eq!(t.unions.len(), 1);
         assert_eq!(t.unions[0].0.node_count(), 3); // P-U-D path
@@ -179,7 +289,7 @@ mod tests {
         let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
         let p32 = g.node(PROTEIN, 32).unwrap();
         let d214 = g.node(DNA, 214).unwrap();
-        let t = pair_topologies(&g, &pp.map[&(p32, d214)], TopOptions::default());
+        let t = tops_of(&g, &pp, p32, d214, TopOptions::default());
         assert_eq!(t.class_count(), 1);
         assert_eq!(t.unions.len(), 1);
         assert_eq!(t.unions[0].0.node_count(), 2); // P -encodes- D
@@ -189,7 +299,7 @@ mod tests {
     #[test]
     fn empty_paths_empty_topologies() {
         let (_db, g, _schema) = figure3();
-        let t = pair_topologies(&g, &[], TopOptions::default());
+        let t = pair_topologies(&g, &[], TopOptions::default(), &mut CanonMemo::new());
         assert!(t.unions.is_empty());
         assert_eq!(t.class_count(), 0);
         assert!(!t.truncated);
@@ -201,11 +311,7 @@ mod tests {
         let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
         let p78 = g.node(PROTEIN, 78).unwrap();
         let d215 = g.node(DNA, 215).unwrap();
-        let t = pair_topologies(
-            &g,
-            &pp.map[&(p78, d215)],
-            TopOptions { max_reps_per_class: 1, max_product: 1 },
-        );
+        let t = tops_of(&g, &pp, p78, d215, TopOptions { max_reps_per_class: 1, max_product: 1 });
         assert!(t.truncated);
         assert!(t.unions.len() <= 1);
     }
@@ -216,8 +322,8 @@ mod tests {
         let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
         let p78 = g.node(PROTEIN, 78).unwrap();
         let d215 = g.node(DNA, 215).unwrap();
-        let t1 = pair_topologies(&g, &pp.map[&(p78, d215)], TopOptions::default());
-        let t2 = pair_topologies(&g, &pp.map[&(p78, d215)], TopOptions::default());
+        let t1 = tops_of(&g, &pp, p78, d215, TopOptions::default());
+        let t2 = tops_of(&g, &pp, p78, d215, TopOptions::default());
         assert_eq!(t1.classes, t2.classes);
         let codes1: Vec<_> = t1.unions.iter().map(|(_, c)| c.clone()).collect();
         let codes2: Vec<_> = t2.unions.iter().map(|(_, c)| c.clone()).collect();
@@ -225,5 +331,24 @@ mod tests {
         let mut sorted = t1.classes.clone();
         sorted.sort();
         assert_eq!(sorted, t1.classes);
+    }
+
+    #[test]
+    fn memo_hits_do_not_change_codes() {
+        // Running every pair through one shared memo must give the same
+        // codes as a fresh memo per pair (i.e. no memoization at all).
+        let (_db, g, schema) = figure3();
+        let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
+        let mut shared = CanonMemo::new();
+        for (a, b) in pp.sorted_pairs() {
+            let with_shared =
+                pair_topologies(&g, &pp.paths(a, b), TopOptions::default(), &mut shared);
+            let fresh = tops_of(&g, &pp, a, b, TopOptions::default());
+            let c1: Vec<_> = with_shared.unions.iter().map(|(_, c)| c.clone()).collect();
+            let c2: Vec<_> = fresh.unions.iter().map(|(_, c)| c.clone()).collect();
+            assert_eq!(c1, c2);
+        }
+        assert!(shared.hits > 0, "figure-3 pairs share topology structures");
+        assert_eq!(shared.len() as u64, shared.misses);
     }
 }

@@ -15,7 +15,7 @@
 
 use std::collections::HashSet;
 
-use ts_graph::{DataGraph, Path, PathSig};
+use ts_graph::{DataGraph, PathRef, PathSig};
 
 /// Build the reversal-normalized signature of a label walk
 /// (`types.len() == rels.len() + 1`).
@@ -27,9 +27,7 @@ pub fn sig_from_labels(types: &[u16], rels: &[u16]) -> PathSig {
         fwd.push(rels[i]);
     }
     fwd.push(*types.last().expect("non-empty walk"));
-    let mut rev = fwd.clone();
-    rev.reverse();
-    PathSig(fwd.min(rev))
+    PathSig::from_interleaved(fwd)
 }
 
 /// A set of path patterns considered weak relationships.
@@ -71,7 +69,7 @@ impl WeakPolicy {
     }
 
     /// True if a concrete path survives the policy.
-    pub fn allows(&self, g: &DataGraph, path: &Path) -> bool {
+    pub fn allows(&self, g: &DataGraph, path: PathRef<'_>) -> bool {
         !self.is_banned(&path.sig(g))
     }
 }
@@ -87,8 +85,7 @@ mod tests {
         // P-U-D via uni_encodes(1), uni_contains(2).
         let (_db, g, schema) = figure3();
         let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 2);
-        let some_pud =
-            pp.map.values().flatten().find(|p| p.len() == 2).expect("a P-U-D path exists");
+        let some_pud = pp.all_paths().find(|p| p.len() == 2).expect("a P-U-D path exists");
         let sig = sig_from_labels(&[PROTEIN, UNIGENE, DNA], &[1, 2]);
         assert_eq!(some_pud.sig(&g), sig);
     }
@@ -109,7 +106,7 @@ mod tests {
         let pp = enumerate_pair_paths(&g, &schema, PROTEIN, DNA, 3);
         let mut banned = 0;
         let mut allowed = 0;
-        for p in pp.map.values().flatten() {
+        for p in pp.all_paths() {
             if policy.allows(&g, p) {
                 allowed += 1;
             } else {

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use ts_core::compute::{compute_catalog, ComputeOptions};
 use ts_core::methods::{fast_top, full_top, QueryContext};
 use ts_core::prune::{prune_catalog, PruneOptions};
-use ts_core::topology::{pair_topologies, TopOptions};
+use ts_core::topology::{pair_topologies, CanonMemo, TopOptions};
 use ts_core::TopologyQuery;
 use ts_graph::{canonical_code, enumerate_pair_paths, DataGraph, SchemaGraph};
 use ts_storage::{row, ColumnDef, Database, Predicate, TableSchema, ValueType};
@@ -83,8 +83,10 @@ proptest! {
         let g = DataGraph::from_db(&db).unwrap();
         let schema = SchemaGraph::from_db(&db);
         let pp = enumerate_pair_paths(&g, &schema, 0, 2, l);
-        for ((a, b), paths) in &pp.map {
-            let t = pair_topologies(&g, paths, TopOptions::default());
+        let mut memo = CanonMemo::new();
+        for (a, b) in pp.sorted_pairs() {
+            let (a, b) = (&a, &b);
+            let t = pair_topologies(&g, &pp.paths(*a, *b), TopOptions::default(), &mut memo);
             prop_assert!(!t.unions.is_empty(), "connected pair has a topology");
             // Codes are distinct and sorted.
             for w in t.unions.windows(2) {

@@ -8,13 +8,18 @@
 //! entity set within the remaining length budget. This visits exactly the
 //! prefixes of label walks the schema admits — the same work the paper's
 //! per-schema-path SQL queries do (§4.1), fused into one traversal.
-
-use std::collections::HashMap;
+//!
+//! The offline build enumerates millions of paths, so results stream into
+//! a [`PathSink`]: either a plain `Vec<Path>` (one allocation pair per
+//! path — fine for online per-pair work) or a CSR-style [`PathArena`]
+//! (two shared buffers plus an offset table, with borrowing [`PathRef`]
+//! views — the allocation-lean form the catalog build uses).
 
 use crate::data_graph::{DataGraph, NodeId};
 use crate::schema_graph::SchemaGraph;
+use std::collections::HashMap;
 
-/// An instance-level simple path. `nodes.len() == rels.len() + 1`.
+/// An owned instance-level simple path. `nodes.len() == rels.len() + 1`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Path {
     /// Data-graph nodes along the path.
@@ -35,28 +40,19 @@ impl Path {
         self.rels.is_empty()
     }
 
+    /// Borrowing view of this path.
+    pub fn as_ref(&self) -> PathRef<'_> {
+        PathRef { nodes: &self.nodes, rels: &self.rels }
+    }
+
     /// `(first, last)` node.
     pub fn endpoints(&self) -> (NodeId, NodeId) {
-        (*self.nodes.first().expect("path has nodes"), *self.nodes.last().expect("path has nodes"))
+        self.as_ref().endpoints()
     }
 
     /// Label signature identifying the path's isomorphism class.
-    ///
-    /// A path's labeled graph is determined by its alternating
-    /// type/relationship label sequence, up to reversal; the signature is
-    /// the lexicographic minimum of the sequence and its reverse, so two
-    /// paths are isomorphic iff their signatures are equal (Definition 1's
-    /// equivalence classes reduce to signature equality for paths).
     pub fn sig(&self, g: &DataGraph) -> PathSig {
-        let mut fwd = Vec::with_capacity(self.nodes.len() + self.rels.len());
-        for i in 0..self.rels.len() {
-            fwd.push(g.node_type(self.nodes[i]));
-            fwd.push(self.rels[i]);
-        }
-        fwd.push(g.node_type(*self.nodes.last().expect("path has nodes")));
-        let mut rev = fwd.clone();
-        rev.reverse();
-        PathSig(fwd.min(rev))
+        self.as_ref().sig(g)
     }
 
     /// The path with nodes and rels reversed.
@@ -69,11 +65,80 @@ impl Path {
     }
 }
 
+/// A borrowed view of a simple path — the arena's element type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathRef<'a> {
+    /// Data-graph nodes along the path.
+    pub nodes: &'a [NodeId],
+    /// Relationship-set ids along the path.
+    pub rels: &'a [u16],
+}
+
+impl PathRef<'_> {
+    /// Path length in edges.
+    pub fn len(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// True for a degenerate zero-edge path.
+    pub fn is_empty(&self) -> bool {
+        self.rels.is_empty()
+    }
+
+    /// `(first, last)` node.
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (*self.nodes.first().expect("path has nodes"), *self.nodes.last().expect("path has nodes"))
+    }
+
+    /// Label signature identifying the path's isomorphism class.
+    ///
+    /// A path's labeled graph is determined by its alternating
+    /// type/relationship label sequence, up to reversal; the signature is
+    /// the lexicographic minimum of the sequence and its reverse, so two
+    /// paths are isomorphic iff their signatures are equal (Definition 1's
+    /// equivalence classes reduce to signature equality for paths). Built
+    /// in one pass: the forward sequence is materialized once and compared
+    /// against its own mirror in place — no clone-and-reverse round-trip.
+    pub fn sig(&self, g: &DataGraph) -> PathSig {
+        let mut fwd = Vec::with_capacity(self.nodes.len() + self.rels.len());
+        for i in 0..self.rels.len() {
+            fwd.push(g.node_type(self.nodes[i]));
+            fwd.push(self.rels[i]);
+        }
+        fwd.push(g.node_type(*self.nodes.last().expect("path has nodes")));
+        PathSig::from_interleaved(fwd)
+    }
+
+    /// An owning copy.
+    pub fn to_path(&self) -> Path {
+        Path { nodes: self.nodes.to_vec(), rels: self.rels.to_vec() }
+    }
+}
+
 /// Reversal-normalized label signature of a path (its equivalence class).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct PathSig(pub Vec<u16>);
 
 impl PathSig {
+    /// Normalize an interleaved `type, rel, type, …, type` sequence into
+    /// a signature: the lexicographic minimum of the sequence and its
+    /// reverse, decided by an in-place mirror comparison (the sequence is
+    /// reversed only when the reverse actually wins).
+    pub fn from_interleaved(mut seq: Vec<u16>) -> PathSig {
+        let n = seq.len();
+        for i in 0..n {
+            match seq[i].cmp(&seq[n - 1 - i]) {
+                std::cmp::Ordering::Less => return PathSig(seq),
+                std::cmp::Ordering::Greater => {
+                    seq.reverse();
+                    return PathSig(seq);
+                }
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        PathSig(seq) // palindromic: forward == reverse
+    }
+
     /// Number of edges in paths of this class.
     pub fn len(&self) -> usize {
         self.0.len() / 2
@@ -85,9 +150,100 @@ impl PathSig {
     }
 }
 
+/// Receives each accepted path of a DFS enumeration as borrowed slices.
+///
+/// The two standard sinks: `Vec<Path>` copies every path into owned
+/// vectors (the seed behaviour); [`PathArena`] appends into shared
+/// buffers without per-path allocation.
+pub trait PathSink {
+    /// Called once per accepted path; `nodes.len() == rels.len() + 1`.
+    fn accept(&mut self, nodes: &[NodeId], rels: &[u16]);
+}
+
+impl PathSink for Vec<Path> {
+    fn accept(&mut self, nodes: &[NodeId], rels: &[u16]) {
+        self.push(Path { nodes: nodes.to_vec(), rels: rels.to_vec() });
+    }
+}
+
+/// CSR-style path store: one shared `nodes` buffer, one shared `rels`
+/// buffer, and an offset table. Path `i` has `nodes[off[i]..off[i+1]]`;
+/// because every path has exactly one more node than relationships, the
+/// `rels` range is derived from the same table (`off[i] - i`) — a single
+/// offset column covers both buffers.
+#[derive(Debug, Clone)]
+pub struct PathArena {
+    nodes: Vec<NodeId>,
+    rels: Vec<u16>,
+    /// Node-buffer start offset per path, plus one trailing end offset.
+    off: Vec<u32>,
+}
+
+impl Default for PathArena {
+    fn default() -> Self {
+        PathArena { nodes: Vec::new(), rels: Vec::new(), off: vec![0] }
+    }
+}
+
+impl PathArena {
+    /// Empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored paths.
+    pub fn len(&self) -> usize {
+        self.off.len() - 1
+    }
+
+    /// True when no paths are stored.
+    pub fn is_empty(&self) -> bool {
+        self.off.len() == 1
+    }
+
+    /// Total node slots in the backing buffer (capacity diagnostics).
+    pub fn node_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Drop all paths, keeping the buffer capacity for reuse.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.rels.clear();
+        self.off.truncate(1);
+    }
+
+    /// Append a path (two `memcpy`s, no per-path allocation once the
+    /// buffers are warm).
+    pub fn push(&mut self, nodes: &[NodeId], rels: &[u16]) {
+        debug_assert_eq!(nodes.len(), rels.len() + 1, "path shape");
+        self.nodes.extend_from_slice(nodes);
+        self.rels.extend_from_slice(rels);
+        self.off.push(self.nodes.len() as u32);
+    }
+
+    /// Borrowing view of path `i`.
+    pub fn get(&self, i: usize) -> PathRef<'_> {
+        let (ns, ne) = (self.off[i] as usize, self.off[i + 1] as usize);
+        PathRef { nodes: &self.nodes[ns..ne], rels: &self.rels[ns - i..ne - (i + 1)] }
+    }
+
+    /// Iterate over all stored paths.
+    pub fn iter(&self) -> impl Iterator<Item = PathRef<'_>> {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
+impl PathSink for PathArena {
+    fn accept(&mut self, nodes: &[NodeId], rels: &[u16]) {
+        self.push(nodes, rels);
+    }
+}
+
 /// All simple paths of length 1..=`l` starting at `a` and ending at any
-/// node of entity set `to_es`. `reach` must be
-/// `schema.reach_table(to_es, l)`.
+/// node of entity set `to_es`, as owned [`Path`]s. `reach` must be
+/// `schema.reach_table(to_es, l)`. The offline build streams into an
+/// arena via [`paths_from_into`] instead.
 pub fn paths_from(
     g: &DataGraph,
     reach: &[Vec<bool>],
@@ -96,35 +252,47 @@ pub fn paths_from(
     l: usize,
 ) -> Vec<Path> {
     let mut out = Vec::new();
-    let mut nodes = vec![a];
-    let mut rels: Vec<u16> = Vec::new();
-    let mut on_path = HashMap::new();
-    on_path.insert(a, ());
-    dfs(g, reach, to_es, l, &mut nodes, &mut rels, &mut on_path, &mut out);
+    paths_from_into(g, reach, a, to_es, l, &mut out);
     out
 }
 
-#[allow(clippy::too_many_arguments)]
-fn dfs(
+/// Stream all simple paths of length 1..=`l` from `a` to entity set
+/// `to_es` into `sink`.
+pub fn paths_from_into<S: PathSink>(
+    g: &DataGraph,
+    reach: &[Vec<bool>],
+    a: NodeId,
+    to_es: u16,
+    l: usize,
+    sink: &mut S,
+) {
+    let mut nodes = Vec::with_capacity(l + 1);
+    nodes.push(a);
+    let mut rels: Vec<u16> = Vec::with_capacity(l);
+    dfs(g, reach, to_es, l, &mut nodes, &mut rels, sink);
+}
+
+fn dfs<S: PathSink>(
     g: &DataGraph,
     reach: &[Vec<bool>],
     to_es: u16,
     l: usize,
     nodes: &mut Vec<NodeId>,
     rels: &mut Vec<u16>,
-    on_path: &mut HashMap<NodeId, ()>,
-    out: &mut Vec<Path>,
+    sink: &mut S,
 ) {
     let cur = *nodes.last().expect("path non-empty");
     if !rels.is_empty() && g.node_type(cur) == to_es {
-        out.push(Path { nodes: nodes.clone(), rels: rels.clone() });
+        sink.accept(nodes, rels);
     }
     if rels.len() == l {
         return;
     }
     let remaining = l - rels.len();
     for &(rid, next) in g.neighbors(cur) {
-        if on_path.contains_key(&next) {
+        // Simplicity check: the path stack is at most l+1 nodes, so a
+        // linear scan beats any hash set.
+        if nodes.contains(&next) {
             continue;
         }
         if !reach[g.node_type(next) as usize][remaining - 1] {
@@ -132,9 +300,7 @@ fn dfs(
         }
         nodes.push(next);
         rels.push(rid);
-        on_path.insert(next, ());
-        dfs(g, reach, to_es, l, nodes, rels, on_path, out);
-        on_path.remove(&next);
+        dfs(g, reach, to_es, l, nodes, rels, sink);
         nodes.pop();
         rels.pop();
     }
@@ -142,12 +308,16 @@ fn dfs(
 
 /// The `l`-path sets for every connected pair `(a, b)` with
 /// `type(a) = from_es`, `type(b) = to_es`: the union of `PS(a,b,l)` over
-/// all pairs, grouped by pair.
+/// all pairs, grouped by pair. Backed by a [`PathArena`]; the map holds
+/// arena indices, not owned paths.
 #[derive(Debug, Clone, Default)]
 pub struct PairPaths {
-    /// `(a, b)` → paths from a to b. For `from_es == to_es`, keys are
-    /// normalized to `a < b` and each path is stored oriented a→b.
-    pub map: HashMap<(NodeId, NodeId), Vec<Path>>,
+    /// The shared path store.
+    pub arena: PathArena,
+    /// `(a, b)` → arena indices of the paths from a to b. For
+    /// `from_es == to_es`, keys are normalized to `a < b` and each path
+    /// is stored oriented a→b.
+    pub map: HashMap<(NodeId, NodeId), Vec<u32>>,
 }
 
 impl PairPaths {
@@ -158,7 +328,7 @@ impl PairPaths {
 
     /// Total number of paths.
     pub fn path_count(&self) -> usize {
-        self.map.values().map(Vec::len).sum()
+        self.arena.len()
     }
 
     /// Pairs in deterministic order (sorted by node ids).
@@ -166,6 +336,41 @@ impl PairPaths {
         let mut keys: Vec<_> = self.map.keys().copied().collect();
         keys.sort_unstable();
         keys
+    }
+
+    /// Borrowing views of the paths of one pair (empty if unconnected).
+    pub fn paths(&self, a: NodeId, b: NodeId) -> Vec<PathRef<'_>> {
+        self.map
+            .get(&(a, b))
+            .map(|idxs| idxs.iter().map(|&i| self.arena.get(i as usize)).collect())
+            .unwrap_or_default()
+    }
+
+    /// All paths of all pairs, as borrowing views.
+    pub fn all_paths(&self) -> impl Iterator<Item = PathRef<'_>> {
+        self.arena.iter()
+    }
+}
+
+/// Sink that files each accepted path under its endpoint pair, skipping
+/// the duplicate b→a discovery of same-type pairs.
+struct PairSink {
+    arena: PathArena,
+    map: HashMap<(NodeId, NodeId), Vec<u32>>,
+    same_type: bool,
+}
+
+impl PathSink for PairSink {
+    fn accept(&mut self, nodes: &[NodeId], rels: &[u16]) {
+        let (s, e) = (nodes[0], *nodes.last().expect("path has nodes"));
+        if self.same_type && s > e {
+            // Each undirected pair is discovered from both endpoints;
+            // keep the a < b orientation only.
+            return;
+        }
+        let idx = self.arena.len() as u32;
+        self.arena.push(nodes, rels);
+        self.map.entry((s, e)).or_default().push(idx);
     }
 }
 
@@ -178,22 +383,12 @@ pub fn enumerate_pair_paths(
     l: usize,
 ) -> PairPaths {
     let reach = schema.reach_table(to_es, l);
-    let mut pp = PairPaths::default();
+    let mut sink =
+        PairSink { arena: PathArena::new(), map: HashMap::new(), same_type: from_es == to_es };
     for &a in g.nodes_of_type(from_es) {
-        for path in paths_from(g, &reach, a, to_es, l) {
-            let (s, e) = path.endpoints();
-            debug_assert_eq!(s, a);
-            if from_es == to_es {
-                // Each undirected pair is discovered from both endpoints;
-                // keep the a < b orientation only.
-                if s > e {
-                    continue;
-                }
-            }
-            pp.map.entry((s, e)).or_default().push(path);
-        }
+        paths_from_into(g, &reach, a, to_es, l, &mut sink);
     }
-    pp
+    PairPaths { arena: sink.arena, map: sink.map }
 }
 
 #[cfg(test)]
@@ -209,7 +404,7 @@ mod tests {
         let p78 = g.node(0, 78).unwrap();
         let d215 = g.node(2, 215).unwrap();
         let pp = enumerate_pair_paths(&g, &schema, 0, 2, 3);
-        let paths = &pp.map[&(p78, d215)];
+        let paths = pp.paths(p78, d215);
         assert_eq!(paths.len(), 3);
         // Two of them share a signature (P-U-D via u103 and via u150), one
         // is the length-3 P-U-P-D path.
@@ -226,7 +421,7 @@ mod tests {
         let p44 = g.node(0, 44).unwrap();
         let d742 = g.node(2, 742).unwrap();
         let pp = enumerate_pair_paths(&g, &schema, 0, 2, 3);
-        let paths = &pp.map[&(p44, d742)];
+        let paths = pp.paths(p44, d742);
         assert_eq!(paths.len(), 2);
         assert_eq!(paths[0].sig(&g), paths[1].sig(&g));
     }
@@ -237,7 +432,7 @@ mod tests {
         let p32 = g.node(0, 32).unwrap();
         let d214 = g.node(2, 214).unwrap();
         let pp = enumerate_pair_paths(&g, &schema, 0, 2, 3);
-        let paths = &pp.map[&(p32, d214)];
+        let paths = pp.paths(p32, d214);
         assert_eq!(paths.len(), 1);
         assert_eq!(paths[0].len(), 1);
     }
@@ -246,24 +441,33 @@ mod tests {
     fn signature_reversal_invariance() {
         let (_db, g, schema) = figure3();
         let pp = enumerate_pair_paths(&g, &schema, 0, 2, 3);
-        for paths in pp.map.values() {
-            for p in paths {
-                assert_eq!(p.sig(&g), p.reversed().sig(&g));
-            }
+        for p in pp.all_paths() {
+            assert_eq!(p.sig(&g), p.to_path().reversed().sig(&g));
         }
+    }
+
+    #[test]
+    fn palindromic_signatures_survive_normalization() {
+        // A sequence equal to its own reverse must pass through unchanged.
+        let seq = vec![3u16, 7, 1, 7, 3];
+        assert_eq!(PathSig::from_interleaved(seq.clone()).0, seq);
+        // And the reverse of a non-palindrome maps to the same signature.
+        let fwd = vec![0u16, 5, 2, 6, 1];
+        let mut rev = fwd.clone();
+        rev.reverse();
+        assert_eq!(PathSig::from_interleaved(fwd.clone()), PathSig::from_interleaved(rev));
+        assert_eq!(PathSig::from_interleaved(fwd.clone()).0, fwd);
     }
 
     #[test]
     fn paths_are_simple() {
         let (_db, g, schema) = figure3();
         let pp = enumerate_pair_paths(&g, &schema, 0, 2, 4);
-        for paths in pp.map.values() {
-            for p in paths {
-                let mut ns = p.nodes.clone();
-                ns.sort_unstable();
-                ns.dedup();
-                assert_eq!(ns.len(), p.nodes.len(), "path revisits a node: {p:?}");
-            }
+        for p in pp.all_paths() {
+            let mut ns = p.nodes.to_vec();
+            ns.sort_unstable();
+            ns.dedup();
+            assert_eq!(ns.len(), p.nodes.len(), "path revisits a node: {p:?}");
         }
     }
 
@@ -287,10 +491,8 @@ mod tests {
         let (_db, g, schema) = figure3();
         for l in 1..=4 {
             let pp = enumerate_pair_paths(&g, &schema, 0, 2, l);
-            for paths in pp.map.values() {
-                for p in paths {
-                    assert!(p.len() <= l);
-                }
+            for p in pp.all_paths() {
+                assert!(p.len() <= l);
             }
         }
     }
@@ -301,11 +503,40 @@ mod tests {
         let pp3 = enumerate_pair_paths(&g, &schema, 0, 2, 3);
         let pp4 = enumerate_pair_paths(&g, &schema, 0, 2, 4);
         assert!(pp4.path_count() >= pp3.path_count());
-        for (pair, paths) in &pp3.map {
-            let sup = &pp4.map[pair];
-            for p in paths {
-                assert!(sup.contains(p));
+        for (&pair, idxs) in &pp3.map {
+            let sup: Vec<Path> = pp4.paths(pair.0, pair.1).iter().map(PathRef::to_path).collect();
+            for &i in idxs {
+                assert!(sup.contains(&pp3.arena.get(i as usize).to_path()));
             }
         }
+    }
+
+    #[test]
+    fn arena_roundtrip_preserves_paths() {
+        let (_db, g, schema) = figure3();
+        let reach = schema.reach_table(2, 3);
+        for &a in g.nodes_of_type(0) {
+            let owned = paths_from(&g, &reach, a, 2, 3);
+            let mut arena = PathArena::new();
+            paths_from_into(&g, &reach, a, 2, 3, &mut arena);
+            assert_eq!(arena.len(), owned.len());
+            for (i, p) in owned.iter().enumerate() {
+                assert_eq!(arena.get(i), p.as_ref());
+            }
+        }
+    }
+
+    #[test]
+    fn arena_clear_keeps_capacity() {
+        let mut arena = PathArena::new();
+        arena.push(&[1, 2, 3], &[7, 8]);
+        arena.push(&[4, 5], &[9]);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(1).endpoints(), (4, 5));
+        arena.clear();
+        assert!(arena.is_empty());
+        assert_eq!(arena.node_slots(), 0);
+        arena.push(&[6, 7], &[1]);
+        assert_eq!(arena.get(0).rels, &[1]);
     }
 }

@@ -129,13 +129,40 @@ proptest! {
 
         let pp = enumerate_pair_paths(&g, &schema, 0, 2, l);
         let mut got = std::collections::HashSet::new();
-        for ((a, b), paths) in &pp.map {
-            for p in paths {
-                got.insert((*a, *b, p.rels.clone(), p.nodes.clone()));
+        for ((a, b), idxs) in &pp.map {
+            for &i in idxs {
+                let p = pp.arena.get(i as usize);
+                got.insert((*a, *b, p.rels.to_vec(), p.nodes.to_vec()));
             }
         }
         let expected = brute_force_paths(&g, 0, 2, l);
         prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn arena_enumeration_matches_vec_enumerator(
+        enc in edges_strategy(5),
+        ue in edges_strategy(5),
+        uc in edges_strategy(5),
+        l in 1usize..=4,
+    ) {
+        // The arena-backed sink must yield exactly the path sequence the
+        // owned `Vec<Path>` sink yields — same order, same contents, same
+        // signatures — for every source entity.
+        let db = build_db(5, &enc, &ue, &uc);
+        let g = DataGraph::from_db(&db).unwrap();
+        let schema = SchemaGraph::from_db(&db);
+        let reach = schema.reach_table(2, l);
+        for &a in g.nodes_of_type(0) {
+            let owned = ts_graph::paths_from(&g, &reach, a, 2, l);
+            let mut arena = ts_graph::PathArena::new();
+            ts_graph::paths_from_into(&g, &reach, a, 2, l, &mut arena);
+            prop_assert_eq!(arena.len(), owned.len());
+            for (i, p) in owned.iter().enumerate() {
+                prop_assert_eq!(arena.get(i), p.as_ref());
+                prop_assert_eq!(arena.get(i).sig(&g), p.sig(&g));
+            }
+        }
     }
 
     #[test]

@@ -98,6 +98,21 @@ impl Table {
         Ok(id)
     }
 
+    /// Pre-size the row heap for `n` additional rows (bulk loads).
+    pub fn reserve(&mut self, n: usize) {
+        self.rows.reserve(n);
+    }
+
+    /// A copy of this table under a different name: rows, indexes, and
+    /// statistics are cloned as-is instead of being re-validated,
+    /// re-hashed, and re-collected row by row. This is how the catalog
+    /// materializes LeftTops from AllTops.
+    pub fn clone_renamed(&self, name: impl Into<String>) -> Table {
+        let mut t = self.clone();
+        t.schema.name = name.into();
+        t
+    }
+
     /// Build (or rebuild) a secondary hash index on `col`.
     pub fn create_index(&mut self, col: ColumnId) {
         let mut idx = HashIndex::new();

@@ -1,0 +1,92 @@
+//! The work-stealing parallel offline build must be indistinguishable
+//! from the serial one: chunk boundaries, worker count, and per-worker
+//! canonicalizer memos are scheduling details, and the deterministic
+//! merge in `ts-core::compute` has to erase all of them. This test runs
+//! both builds on a generated Biozon instance (large enough that the
+//! parallel path engages for real) and compares the catalogs
+//! structure-for-structure and the materialized tables row-for-row.
+
+use topology_search::prelude::*;
+
+fn assert_catalogs_identical(c1: &Catalog, c2: &Catalog) {
+    assert_eq!(c1.l, c2.l);
+    assert_eq!(c1.topology_count(), c2.topology_count());
+    assert_eq!(c1.sig_count(), c2.sig_count());
+    assert_eq!(c1.code_count(), c2.code_count());
+    for (m1, m2) in c1.metas().iter().zip(c2.metas().iter()) {
+        assert_eq!(m1.id, m2.id);
+        assert_eq!(m1.espair, m2.espair);
+        assert_eq!(m1.code, m2.code);
+        assert_eq!(m1.code_id, m2.code_id);
+        assert_eq!(m1.freq, m2.freq);
+        assert_eq!(m1.path_sig, m2.path_sig);
+        assert_eq!(m1.graph.labels, m2.graph.labels);
+        assert_eq!(m1.graph.edges, m2.graph.edges);
+    }
+    assert_eq!(c1.pairs.len(), c2.pairs.len());
+    for (p1, p2) in c1.pairs.iter().zip(c2.pairs.iter()) {
+        assert_eq!((p1.espair, p1.e1, p1.e2), (p2.espair, p2.e1, p2.e2));
+        assert_eq!(p1.topos, p2.topos);
+        assert_eq!(p1.sigs, p2.sigs);
+    }
+    for (t1, t2) in [(&c1.alltops, &c2.alltops), (&c1.lefttops, &c2.lefttops)] {
+        assert_eq!(t1.len(), t2.len());
+        for (r1, r2) in t1.rows().iter().zip(t2.rows()) {
+            assert_eq!(r1, r2);
+        }
+    }
+}
+
+#[test]
+fn work_stealing_build_matches_serial_byte_for_byte() {
+    let biozon = biozon::generate(&biozon::BiozonConfig::default().scaled(0.1));
+    let graph = graph::DataGraph::from_db(&biozon.db).expect("generator is consistent");
+    let schema = graph::SchemaGraph::from_db(&biozon.db);
+
+    let serial_opts = ComputeOptions::with_l(3);
+    let (c_serial, s_serial) = compute_catalog(&biozon.db, &graph, &schema, &serial_opts);
+
+    // Default threshold: only entity sets with >= 64 sources go parallel.
+    let par_opts = ComputeOptions { parallel: true, ..ComputeOptions::with_l(3) };
+    let (c_par, s_par) = compute_catalog(&biozon.db, &graph, &schema, &par_opts);
+    assert_catalogs_identical(&c_serial, &c_par);
+
+    // Forced threshold 1: every espair takes the work-stealing path,
+    // including tiny ones where chunking degenerates to one source each.
+    let forced_opts =
+        ComputeOptions { parallel: true, min_parallel_sources: 1, ..ComputeOptions::with_l(3) };
+    let (c_forced, s_forced) = compute_catalog(&biozon.db, &graph, &schema, &forced_opts);
+    assert_catalogs_identical(&c_serial, &c_forced);
+
+    // The same logical work was done in all three schedules.
+    assert_eq!(s_serial.pairs, s_par.pairs);
+    assert_eq!(s_serial.paths, s_forced.paths);
+    assert_eq!(s_serial.topologies, s_forced.topologies);
+    // Memo effectiveness is a scheduling detail, but the total number of
+    // canonicalizations asked for is not.
+    assert_eq!(
+        s_serial.canon_hits + s_serial.canon_misses,
+        s_forced.canon_hits + s_forced.canon_misses
+    );
+}
+
+#[test]
+fn weak_policy_parallel_matches_serial() {
+    // The weak-policy filter runs inside the workers; dropping paths must
+    // not disturb determinism either.
+    let biozon = biozon::generate(&biozon::BiozonConfig::default().scaled(0.1));
+    let graph = graph::DataGraph::from_db(&biozon.db).expect("generator is consistent");
+    let schema = graph::SchemaGraph::from_db(&biozon.db);
+    let policy = biozon::weak_policy_l4(&biozon.ids);
+
+    let mk = |parallel| ComputeOptions {
+        parallel,
+        min_parallel_sources: 1,
+        weak_policy: Some(policy.clone()),
+        ..ComputeOptions::with_l(3)
+    };
+    let (c1, s1) = compute_catalog(&biozon.db, &graph, &schema, &mk(false));
+    let (c2, s2) = compute_catalog(&biozon.db, &graph, &schema, &mk(true));
+    assert_catalogs_identical(&c1, &c2);
+    assert_eq!(s1.weak_paths_dropped, s2.weak_paths_dropped);
+}
