@@ -45,6 +45,12 @@ struct Row {
     topologies: usize,
     ns_per_iter: u128,
     iters: usize,
+    /// Heap footprint of the finished catalog (CSR pair store + metas +
+    /// interners + materialized tables), bytes.
+    catalog_bytes: usize,
+    /// CSR pair-store payload alone (keys + offset table + shared
+    /// topo/sig buffers), bytes.
+    pair_bytes: usize,
     stats: ComputeStats,
 }
 
@@ -69,24 +75,30 @@ fn run_method(
     // Warm-up (also pre-faults the generated tables).
     let (_, mut stats) = compute_catalog(&biozon.db, g, schema, &opts);
     let mut samples = Vec::with_capacity(spec.iters);
+    let mut catalog_bytes = 0;
+    let mut pair_bytes = 0;
     for _ in 0..spec.iters {
         let t0 = Instant::now();
         let (cat, s) = compute_catalog(&biozon.db, g, schema, &opts);
         samples.push(t0.elapsed().as_nanos());
         std::hint::black_box(cat.topology_count());
+        catalog_bytes = cat.heap_size();
+        pair_bytes = cat.pair_bytes();
         stats = s;
     }
     let ns = median(samples);
     let method = if parallel { "parallel" } else { "serial" };
     println!(
-        "compute_catalog/{}/{:<8} {:>12.3} ms/iter  ({} pairs, {} paths, {} topologies, memo hit rate {:.3})",
+        "compute_catalog/{}/{:<8} {:>12.3} ms/iter  ({} pairs, {} paths, {} topologies, memo hit rate {:.3}, catalog {:.1} KiB, pair store {:.1} KiB)",
         spec.name,
         method,
         ns as f64 / 1e6,
         stats.pairs,
         stats.paths,
         stats.topologies,
-        stats.canon_hit_rate()
+        stats.canon_hit_rate(),
+        catalog_bytes as f64 / 1024.0,
+        pair_bytes as f64 / 1024.0
     );
     rows.push(Row {
         size: spec.name,
@@ -99,6 +111,8 @@ fn run_method(
         topologies: stats.topologies,
         ns_per_iter: ns,
         iters: spec.iters,
+        catalog_bytes,
+        pair_bytes,
         stats,
     });
 }
@@ -115,7 +129,7 @@ fn emit_json(rows: &[Row]) {
     );
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"size\": \"{}\", \"method\": \"{}\", \"scale\": {}, \"entities\": {}, \"edges\": {}, \"pairs\": {}, \"paths\": {}, \"topologies\": {}, \"ns_per_iter\": {}, \"iters\": {}, \"canon_hits\": {}, \"canon_misses\": {}, \"canon_hit_rate\": {:.4}}}{}\n",
+            "    {{\"size\": \"{}\", \"method\": \"{}\", \"scale\": {}, \"entities\": {}, \"edges\": {}, \"pairs\": {}, \"paths\": {}, \"topologies\": {}, \"ns_per_iter\": {}, \"iters\": {}, \"canon_hits\": {}, \"canon_misses\": {}, \"canon_hit_rate\": {:.4}, \"catalog_bytes\": {}, \"pair_bytes\": {}}}{}\n",
             r.size,
             r.method,
             r.scale,
@@ -129,6 +143,8 @@ fn emit_json(rows: &[Row]) {
             r.stats.canon_hits,
             r.stats.canon_misses,
             r.stats.canon_hit_rate(),
+            r.catalog_bytes,
+            r.pair_bytes,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

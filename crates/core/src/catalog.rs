@@ -9,9 +9,13 @@
 //! The catalog keeps two synchronized representations:
 //!
 //! * **metadata** — interned topologies ([`TopologyMeta`]: canonical
-//!   code, structure graph, frequency, scores, pruned flag) and compact
-//!   per-pair records (which topologies and which path classes each
-//!   connected pair has — the information pruning needs);
+//!   code, structure graph, frequency, scores, pruned flag) and a
+//!   CSR-shaped per-pair store (which topologies and which path classes
+//!   each connected pair has — the information pruning needs). Pair
+//!   entries live in two catalog-level buffers (`pair_topos`,
+//!   `pair_sigs`) addressed through one offset table, mirroring
+//!   `ts-graph`'s `PathArena`; a pair is read through a borrowing
+//!   [`PairView`], and no per-pair heap allocation exists anywhere;
 //! * **materialized relational tables** — real [`ts_storage::Table`]s
 //!   with hash indexes, which the query methods execute against and
 //!   whose byte sizes reproduce Table 1.
@@ -77,19 +81,51 @@ pub struct TopologyMeta {
     pub scores: [f64; 3],
 }
 
-/// Compact per-pair record: the ground truth behind the tables.
-#[derive(Debug, Clone)]
-pub struct PairRecord {
+/// Identity of one connected entity pair in the CSR pair store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PairKey {
     /// Entity-set pair (normalized).
     pub espair: EsPair,
     /// Entity id of the `espair.from` side.
     pub e1: i64,
     /// Entity id of the `espair.to` side.
     pub e2: i64,
-    /// Topologies relating the pair (`l-Top(e1, e2)`).
-    pub topos: Vec<TopologyId>,
+}
+
+/// End offsets of one pair's slices in the shared CSR buffers. Entry
+/// `i + 1` holds pair `i`'s exclusive ends; entry 0 is the all-zero
+/// sentinel, so `offsets[i]..offsets[i + 1]` is pair `i`'s range in
+/// both buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PairOffsets {
+    /// Exclusive end in the topology-id buffer.
+    pub topos: u32,
+    /// Exclusive end in the signature-id buffer.
+    pub sigs: u32,
+}
+
+/// Borrowed view of one pair's catalog entry — the CSR replacement for
+/// the old owning per-pair record (which carried two heap `Vec`s per
+/// connected pair).
+#[derive(Debug, Clone, Copy)]
+pub struct PairView<'a> {
+    /// Entity-set pair (normalized).
+    pub espair: EsPair,
+    /// Entity id of the `espair.from` side.
+    pub e1: i64,
+    /// Entity id of the `espair.to` side.
+    pub e2: i64,
+    /// Topologies relating the pair (`l-Top(e1, e2)`), sorted, deduped.
+    pub topos: &'a [TopologyId],
     /// Interned signatures of the pair's path equivalence classes.
-    pub sigs: Vec<u32>,
+    pub sigs: &'a [u32],
+}
+
+impl PairView<'_> {
+    /// The pair's key.
+    pub fn key(&self) -> PairKey {
+        PairKey { espair: self.espair, e1: self.e1, e2: self.e2 }
+    }
 }
 
 /// The topology catalog.
@@ -99,8 +135,12 @@ pub struct Catalog {
     pub l: usize,
     metas: Vec<TopologyMeta>,
     code_index: HashMap<(EsPair, u32), TopologyId>,
-    /// Per-pair records, sorted by (espair, e1, e2) after finalize.
-    pub pairs: Vec<PairRecord>,
+    /// CSR pair store: keys sorted by (espair, e1, e2) after finalize,
+    /// with both value streams in shared catalog-level buffers.
+    pair_keys: Vec<PairKey>,
+    pair_offsets: Vec<PairOffsets>,
+    pair_topos: Vec<TopologyId>,
+    pair_sigs: Vec<u32>,
     sigs: Vec<PathSig>,
     sig_index: HashMap<PathSig, u32>,
     codes: Vec<CanonicalCode>,
@@ -135,7 +175,10 @@ impl Catalog {
             l,
             metas: Vec::new(),
             code_index: HashMap::new(),
-            pairs: Vec::new(),
+            pair_keys: Vec::new(),
+            pair_offsets: vec![PairOffsets::default()],
+            pair_topos: Vec::new(),
+            pair_sigs: Vec::new(),
             sigs: Vec::new(),
             sig_index: HashMap::new(),
             codes: Vec::new(),
@@ -229,9 +272,139 @@ impl Catalog {
         id
     }
 
-    /// Record a pair.
-    pub fn add_pair(&mut self, rec: PairRecord) {
-        self.pairs.push(rec);
+    /// Record a pair: append its key and copy both value slices into the
+    /// shared CSR buffers (no per-pair allocation).
+    pub fn add_pair(
+        &mut self,
+        espair: EsPair,
+        e1: i64,
+        e2: i64,
+        topos: &[TopologyId],
+        sigs: &[u32],
+    ) {
+        self.pair_keys.push(PairKey { espair, e1, e2 });
+        self.pair_topos.extend_from_slice(topos);
+        self.pair_sigs.extend_from_slice(sigs);
+        self.pair_offsets.push(PairOffsets {
+            topos: u32::try_from(self.pair_topos.len()).expect("CSR topo buffer exceeds u32"),
+            sigs: u32::try_from(self.pair_sigs.len()).expect("CSR sig buffer exceeds u32"),
+        });
+    }
+
+    /// Pre-size the CSR pair store for a bulk append.
+    pub fn reserve_pairs(&mut self, pairs: usize, topos: usize, sigs: usize) {
+        self.pair_keys.reserve(pairs);
+        self.pair_offsets.reserve(pairs);
+        self.pair_topos.reserve(topos);
+        self.pair_sigs.reserve(sigs);
+    }
+
+    /// Number of connected pairs recorded.
+    pub fn pair_count(&self) -> usize {
+        self.pair_keys.len()
+    }
+
+    /// One pair's entry, by position.
+    pub fn pair(&self, i: usize) -> PairView<'_> {
+        let k = self.pair_keys[i];
+        let (o0, o1) = (self.pair_offsets[i], self.pair_offsets[i + 1]);
+        PairView {
+            espair: k.espair,
+            e1: k.e1,
+            e2: k.e2,
+            topos: &self.pair_topos[o0.topos as usize..o1.topos as usize],
+            sigs: &self.pair_sigs[o0.sigs as usize..o1.sigs as usize],
+        }
+    }
+
+    /// Iterate all pairs (sorted by `(espair, e1, e2)` after finalize).
+    pub fn pairs(&self) -> impl ExactSizeIterator<Item = PairView<'_>> {
+        (0..self.pair_count()).map(|i| self.pair(i))
+    }
+
+    /// The offset table of the CSR pair store (`pair_count() + 1`
+    /// entries, monotone, terminated by the buffer lengths) — exposed so
+    /// the invariant tests can audit the layout directly.
+    pub fn pair_offsets(&self) -> &[PairOffsets] {
+        &self.pair_offsets
+    }
+
+    /// The shared topology-id buffer behind every pair's `topos` slice.
+    pub fn pair_topo_buffer(&self) -> &[TopologyId] {
+        &self.pair_topos
+    }
+
+    /// The shared signature-id buffer behind every pair's `sigs` slice.
+    pub fn pair_sig_buffer(&self) -> &[u32] {
+        &self.pair_sigs
+    }
+
+    /// Payload bytes of the CSR pair store (keys + offset table + both
+    /// shared buffers). The old layout spent two heap allocations per
+    /// pair on top of the same payload.
+    pub fn pair_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.pair_keys.len() * size_of::<PairKey>()
+            + self.pair_offsets.len() * size_of::<PairOffsets>()
+            + self.pair_topos.len() * size_of::<TopologyId>()
+            + self.pair_sigs.len() * size_of::<u32>()
+    }
+
+    /// Approximate heap footprint of the whole catalog in bytes: CSR
+    /// pair store, topology metadata (structure graphs, codes,
+    /// signatures), interners, and the three materialized tables (rows
+    /// plus index postings). This is the figure the offline-build bench
+    /// records alongside build time.
+    pub fn heap_size(&self) -> usize {
+        use std::mem::size_of;
+        let metas: usize = self
+            .metas
+            .iter()
+            .map(|m| {
+                size_of::<TopologyMeta>()
+                    + m.graph.labels.len() * size_of::<u16>()
+                    + m.graph.edges.len() * size_of::<(u8, u8, u16)>()
+                    + m.code.0.len() * size_of::<u32>()
+                    + m.path_sig.as_ref().map_or(0, |s| s.0.len() * size_of::<u16>())
+            })
+            .sum();
+        let interners: usize =
+            self.sigs.iter().map(|s| s.0.len() * size_of::<u16>()).sum::<usize>()
+                + self.codes.iter().map(|c| c.0.len() * size_of::<u32>()).sum::<usize>();
+        self.pair_bytes()
+            + metas
+            + interners
+            + self.alltops.heap_size()
+            + self.lefttops.heap_size()
+            + self.excptops.heap_size()
+    }
+
+    /// Sort the CSR pair store by key. Builds run espair-by-espair with
+    /// entities ascending, so the store is usually already sorted and
+    /// the permutation rebuild is skipped.
+    fn sort_pairs(&mut self) {
+        if self.pair_keys.windows(2).all(|w| w[0] <= w[1]) {
+            return;
+        }
+        let mut perm: Vec<u32> = (0..self.pair_keys.len() as u32).collect();
+        perm.sort_by_key(|&i| self.pair_keys[i as usize]);
+        let mut keys = Vec::with_capacity(self.pair_keys.len());
+        let mut offsets = Vec::with_capacity(self.pair_offsets.len());
+        let mut topos = Vec::with_capacity(self.pair_topos.len());
+        let mut sigs = Vec::with_capacity(self.pair_sigs.len());
+        offsets.push(PairOffsets::default());
+        for &i in &perm {
+            let i = i as usize;
+            let (o0, o1) = (self.pair_offsets[i], self.pair_offsets[i + 1]);
+            keys.push(self.pair_keys[i]);
+            topos.extend_from_slice(&self.pair_topos[o0.topos as usize..o1.topos as usize]);
+            sigs.extend_from_slice(&self.pair_sigs[o0.sigs as usize..o1.sigs as usize]);
+            offsets.push(PairOffsets { topos: topos.len() as u32, sigs: sigs.len() as u32 });
+        }
+        self.pair_keys = keys;
+        self.pair_offsets = offsets;
+        self.pair_topos = topos;
+        self.pair_sigs = sigs;
     }
 
     /// Finish the build: sort pairs, compute frequencies, materialize the
@@ -240,30 +413,31 @@ impl Catalog {
     pub fn finalize(&mut self) {
         assert!(!self.finalized, "finalize called twice");
         self.finalized = true;
-        self.pairs.sort_by_key(|p| (p.espair, p.e1, p.e2));
+        self.sort_pairs();
 
-        for p in &self.pairs {
-            for &tid in &p.topos {
-                self.metas[tid as usize].freq += 1;
+        // Every occurrence in the shared topo buffer is one (pair,
+        // topology) incidence — exactly one future AllTops row.
+        for &tid in &self.pair_topos {
+            self.metas[tid as usize].freq += 1;
+        }
+        self.alltops.reserve(self.pair_topos.len());
+        for (i, k) in self.pair_keys.iter().enumerate() {
+            let (lo, hi) =
+                (self.pair_offsets[i].topos as usize, self.pair_offsets[i + 1].topos as usize);
+            for &tid in &self.pair_topos[lo..hi] {
+                self.alltops.insert(row![k.e1, k.e2, tid as i64]).expect("alltops schema is fixed");
             }
         }
-        let total_rows: usize = self.pairs.iter().map(|p| p.topos.len()).sum();
-        self.alltops.reserve(total_rows);
-        for p in &self.pairs {
-            for &tid in &p.topos {
-                self.alltops.insert(row![p.e1, p.e2, tid as i64]).expect("alltops schema is fixed");
-            }
-        }
-        self.alltops.create_index(0);
-        self.alltops.create_index(1);
-        self.alltops.create_index(2);
+        self.alltops.create_index_bulk(0);
+        self.alltops.create_index_bulk(1);
+        self.alltops.create_index_bulk(2);
         self.alltops.analyze();
 
         // LeftTops starts as a full copy (under its own name) — cloned
         // wholesale rather than re-inserted, re-indexed, and re-analyzed
         // row by row.
         self.lefttops = self.alltops.clone_renamed("LeftTops");
-        self.excptops.create_index(0);
+        self.excptops.create_index_bulk(0);
         self.excptops.analyze();
     }
 

@@ -29,7 +29,7 @@ use std::time::Instant;
 use ts_graph::{DataGraph, PathArena, SchemaGraph};
 use ts_storage::Database;
 
-use crate::catalog::{Catalog, EsPair, PairRecord};
+use crate::catalog::{Catalog, EsPair, TopologyId};
 use crate::topology::{pair_topologies, CanonMemo, PairTopologies, TopOptions};
 use crate::weak::WeakPolicy;
 
@@ -52,6 +52,10 @@ pub struct ComputeOptions {
     /// below it the serial path is cheaper. Tests lower it to force the
     /// parallel machinery onto tiny fixtures.
     pub min_parallel_sources: usize,
+    /// Worker-thread cap for the parallel build; `0` means "one per
+    /// available core". The determinism tests sweep this to prove the
+    /// merge erases the schedule.
+    pub max_threads: usize,
 }
 
 impl Default for ComputeOptions {
@@ -63,6 +67,7 @@ impl Default for ComputeOptions {
             weak_policy: None,
             parallel: false,
             min_parallel_sources: 64,
+            max_threads: 0,
         }
     }
 }
@@ -275,11 +280,13 @@ fn compute_espair(
         }
         results.push(w.finish());
     } else {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(16)
-            .min(sources.len());
+        // Auto mode caps at 16 to avoid over-spawning on large boxes;
+        // an explicit max_threads is honored as given.
+        let threads = match opts.max_threads {
+            0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16),
+            n => n,
+        }
+        .min(sources.len());
         // Chunked work stealing: workers pull the next chunk of sources
         // off an atomic cursor, so a straggler chunk (one hub entity with
         // a huge path neighbourhood) never idles the other threads the
@@ -334,22 +341,30 @@ fn intern_locals(
     stats: &mut ComputeStats,
 ) {
     locals.sort_by_key(|p| (p.e1, p.e2));
-    catalog.pairs.reserve(locals.len());
+    let (n_topos, n_sigs) = locals
+        .iter()
+        .fold((0, 0), |(t, s), lp| (t + lp.tops.unions.len(), s + lp.tops.classes.len()));
+    catalog.reserve_pairs(locals.len(), n_topos, n_sigs);
+    // Two scratch vectors reused across every pair of the espair; the
+    // CSR store copies out of them, so nothing per-pair survives.
+    let mut topos: Vec<TopologyId> = Vec::new();
+    let mut sigs: Vec<u32> = Vec::new();
     for lp in locals {
         stats.pairs += 1;
         stats.paths += lp.path_count;
         if lp.tops.truncated {
             stats.truncated_pairs += 1;
         }
-        let sigs: Vec<u32> = lp.tops.classes.into_iter().map(|s| catalog.intern_sig(s)).collect();
-        let mut topos = Vec::with_capacity(lp.tops.unions.len());
+        sigs.clear();
+        sigs.extend(lp.tops.classes.into_iter().map(|s| catalog.intern_sig(s)));
+        topos.clear();
         for (graph, code) in lp.tops.unions {
             let path_sig = path_sig_of_graph(&graph, espair);
             topos.push(catalog.intern_topology(espair, graph, code, path_sig));
         }
         topos.sort_unstable();
         topos.dedup();
-        catalog.add_pair(PairRecord { espair, e1: lp.e1, e2: lp.e2, topos, sigs });
+        catalog.add_pair(espair, lp.e1, lp.e2, &topos, &sigs);
     }
 }
 
@@ -430,8 +445,8 @@ mod tests {
         let (c2, s2) = build(true);
         assert_eq!(c1.topology_count(), c2.topology_count());
         assert_eq!(c1.sig_count(), c2.sig_count());
-        assert_eq!(c1.pairs.len(), c2.pairs.len());
-        for (a, b) in c1.pairs.iter().zip(c2.pairs.iter()) {
+        assert_eq!(c1.pair_count(), c2.pair_count());
+        for (a, b) in c1.pairs().zip(c2.pairs()) {
             assert_eq!((a.espair, a.e1, a.e2), (b.espair, b.e1, b.e2));
             assert_eq!(a.topos, b.topos);
             assert_eq!(a.sigs, b.sigs);
@@ -463,8 +478,9 @@ mod tests {
     #[test]
     fn alltops_rows_match_pair_topologies() {
         let (cat, _) = build(false);
-        let expected: usize = cat.pairs.iter().map(|p| p.topos.len()).sum();
+        let expected: usize = cat.pairs().map(|p| p.topos.len()).sum();
         assert_eq!(cat.alltops.len(), expected);
+        assert_eq!(cat.pair_topo_buffer().len(), expected);
         assert_eq!(cat.lefttops.len(), expected); // nothing pruned yet
         assert_eq!(cat.excptops.len(), 0);
     }

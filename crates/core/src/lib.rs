@@ -43,7 +43,7 @@ pub mod score;
 pub mod topology;
 pub mod weak;
 
-pub use catalog::{Catalog, EsPair, TopologyId, TopologyMeta};
+pub use catalog::{Catalog, EsPair, PairKey, PairOffsets, PairView, TopologyId, TopologyMeta};
 pub use compare::{diff, ResultView, TopologyDiff};
 pub use compute::{compute_catalog, ComputeOptions, ComputeStats};
 pub use methods::{EvalOutcome, Method, QueryContext};

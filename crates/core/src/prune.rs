@@ -80,9 +80,9 @@ pub fn prune_catalog(catalog: &mut Catalog, opts: PruneOptions) -> PruneReport {
             lefttops.insert(r.clone()).expect("copy of valid row");
         }
     }
-    lefttops.create_index(0);
-    lefttops.create_index(1);
-    lefttops.create_index(2);
+    lefttops.create_index_bulk(0);
+    lefttops.create_index_bulk(1);
+    lefttops.create_index_bulk(2);
     lefttops.analyze();
 
     // Rebuild ExcpTops: pairs with a pruned topology's path but a
@@ -100,7 +100,7 @@ pub fn prune_catalog(catalog: &mut Catalog, opts: PruneOptions) -> PruneReport {
             })
             .collect();
 
-        for p in &catalog.pairs {
+        for p in catalog.pairs() {
             for &(sig_id, tid) in &pruned_sigs {
                 if catalog.meta(tid).espair != p.espair {
                     continue;
@@ -114,7 +114,7 @@ pub fn prune_catalog(catalog: &mut Catalog, opts: PruneOptions) -> PruneReport {
             }
         }
     }
-    excptops.create_index(0);
+    excptops.create_index_bulk(0);
     excptops.analyze();
 
     let report = PruneReport {

@@ -24,9 +24,13 @@ impl RankScheme {
         }
     }
 
-    /// All schemes, in the paper's column order.
+    /// All schemes, in score-column order: `all()[i].index() == i`, so
+    /// iterating the array walks `TopologyMeta::scores` front to back.
+    /// (An earlier revision returned `Freq, Domain, Rare` while claiming
+    /// "the paper's column order"; the intended order — pinned by a test
+    /// — is the `index()` order `Freq, Rare, Domain`.)
     pub fn all() -> [RankScheme; 3] {
-        [RankScheme::Freq, RankScheme::Domain, RankScheme::Rare]
+        [RankScheme::Freq, RankScheme::Rare, RankScheme::Domain]
     }
 }
 
@@ -95,6 +99,16 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn all_is_in_score_column_order() {
+        // Pins the intended order: Freq, Rare, Domain — the same order
+        // as the `TopologyMeta::scores` slots `index()` addresses.
+        assert_eq!(RankScheme::all(), [RankScheme::Freq, RankScheme::Rare, RankScheme::Domain]);
+        for (i, s) in RankScheme::all().into_iter().enumerate() {
+            assert_eq!(s.index(), i, "{s} out of column order");
+        }
     }
 
     #[test]

@@ -145,9 +145,9 @@ proptest! {
         let g = DataGraph::from_db(&db).unwrap();
         let schema = SchemaGraph::from_db(&db);
         let (cat, stats) = compute_catalog(&db, &g, &schema, &ComputeOptions::with_l(3));
-        let expected: usize = cat.pairs.iter().map(|p| p.topos.len()).sum();
+        let expected: usize = cat.pairs().map(|p| p.topos.len()).sum();
         prop_assert_eq!(cat.alltops.len(), expected);
-        prop_assert_eq!(stats.pairs as usize, cat.pairs.len());
+        prop_assert_eq!(stats.pairs as usize, cat.pair_count());
         // Frequencies sum to row count.
         let freq_sum: u64 = cat.metas().iter().map(|m| m.freq).sum();
         prop_assert_eq!(freq_sum as usize, cat.alltops.len());

@@ -30,6 +30,54 @@ impl HashIndex {
         self.map.entry(key).or_default().push(row);
     }
 
+    /// Bulk-build from row ids pre-sorted by key (ties by ascending id,
+    /// so probe results match the row-by-row build exactly). Each
+    /// distinct key becomes one map entry whose posting vector is
+    /// allocated at its exact final length, and the map itself is
+    /// pre-sized to the distinct-key count — no per-row `entry()`
+    /// rehash-and-grow, no posting-vector reallocation.
+    pub fn from_sorted_postings<'r>(
+        sorted_ids: &[RowId],
+        key_of: impl Fn(RowId) -> &'r Value,
+    ) -> Self {
+        let distinct = sorted_ids.windows(2).filter(|w| key_of(w[0]) != key_of(w[1])).count()
+            + usize::from(!sorted_ids.is_empty());
+        let mut map: HashMap<Value, Vec<RowId>> = HashMap::with_capacity(distinct);
+        let mut i = 0;
+        while i < sorted_ids.len() {
+            let key = key_of(sorted_ids[i]);
+            let mut j = i + 1;
+            while j < sorted_ids.len() && key_of(sorted_ids[j]) == key {
+                j += 1;
+            }
+            map.insert(key.clone(), sorted_ids[i..j].to_vec());
+            i = j;
+        }
+        HashIndex { map }
+    }
+
+    /// [`HashIndex::from_sorted_postings`] specialized to integer keys
+    /// already extracted into a flat `(key, id)` run: the sort that
+    /// produced the run never touched a `Row`, so all-Int columns (the
+    /// catalog's E1/E2/TID) index without any per-comparison pointer
+    /// chasing.
+    pub fn from_sorted_int_postings(sorted: &[(i64, RowId)]) -> Self {
+        let distinct = sorted.windows(2).filter(|w| w[0].0 != w[1].0).count()
+            + usize::from(!sorted.is_empty());
+        let mut map: HashMap<Value, Vec<RowId>> = HashMap::with_capacity(distinct);
+        let mut i = 0;
+        while i < sorted.len() {
+            let key = sorted[i].0;
+            let mut j = i + 1;
+            while j < sorted.len() && sorted[j].0 == key {
+                j += 1;
+            }
+            map.insert(Value::Int(key), sorted[i..j].iter().map(|&(_, id)| id).collect());
+            i = j;
+        }
+        HashIndex { map }
+    }
+
     /// Rows whose indexed column equals `key`.
     pub fn probe(&self, key: &Value) -> &[RowId] {
         self.map.get(key).map(Vec::as_slice).unwrap_or(&[])

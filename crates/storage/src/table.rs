@@ -122,6 +122,43 @@ impl Table {
         self.secondary.insert(col, idx);
     }
 
+    /// Build (or rebuild) a secondary hash index on `col` from one
+    /// sorted run of row ids instead of row-by-row insertion: sort the
+    /// ids by `(key, id)`, then hand each fully formed run to the index
+    /// as an exact-sized posting list. Probe results are identical to
+    /// [`Table::create_index`]; this is the bulk path catalog
+    /// finalization uses on its large append-only tables.
+    pub fn create_index_bulk(&mut self, col: ColumnId) {
+        let rows = &self.rows;
+        // Declared-Int columns (every catalog table column is one)
+        // extract to a flat (key, id) run first, so the sort compares
+        // plain integers instead of chasing into rows. A Null slipping
+        // into an Int column (nulls pass insert's type check) falls
+        // back to the generic path.
+        let mut keyed: Vec<(i64, RowId)> = Vec::new();
+        let all_int = self.schema.column_type(col) == crate::value::ValueType::Int && {
+            keyed.reserve_exact(rows.len());
+            rows.iter().enumerate().all(|(i, r)| match r.get(col) {
+                Value::Int(v) => {
+                    keyed.push((*v, i as RowId));
+                    true
+                }
+                _ => false,
+            })
+        };
+        let idx = if all_int {
+            keyed.sort_unstable();
+            HashIndex::from_sorted_int_postings(&keyed)
+        } else {
+            let mut ids: Vec<RowId> = (0..rows.len() as RowId).collect();
+            ids.sort_unstable_by(|&a, &b| {
+                rows[a as usize].get(col).cmp(rows[b as usize].get(col)).then(a.cmp(&b))
+            });
+            HashIndex::from_sorted_postings(&ids, |id| rows[id as usize].get(col))
+        };
+        self.secondary.insert(col, idx);
+    }
+
     /// Look up rows by primary key.
     pub fn by_pk(&self, key: &Value) -> Option<&Row> {
         let pk_index = self.pk_index.as_ref()?;
@@ -193,7 +230,7 @@ impl Table {
         }
         let cols: Vec<ColumnId> = self.secondary.keys().copied().collect();
         for c in cols {
-            self.create_index(c);
+            self.create_index_bulk(c);
         }
         self.stats = None;
     }
@@ -284,6 +321,64 @@ mod tests {
         assert_eq!(t.row(0).get(1).as_str(), "genomic");
         assert_eq!(t.by_pk(&Value::Int(742)).unwrap().get(0).as_int(), 742);
         assert_eq!(t.index_probe(1, &Value::str("mRNA")).len(), 2);
+    }
+
+    #[test]
+    fn bulk_index_matches_row_by_row_build() {
+        let mut a = dna_table();
+        a.insert(row![900i64, "mRNA"]).unwrap();
+        a.insert(row![901i64, "EST"]).unwrap();
+        let mut b = a.clone();
+        a.create_index(1);
+        b.create_index_bulk(1);
+        for key in [Value::str("mRNA"), Value::str("genomic"), Value::str("EST"), Value::str("?")] {
+            assert_eq!(a.index_probe(1, &key), b.index_probe(1, &key), "{key:?}");
+        }
+        // Posting order is insertion order in both builds.
+        assert_eq!(b.index_probe(1, &Value::str("mRNA")), &[0, 1, 3]);
+    }
+
+    #[test]
+    fn bulk_index_int_fast_path_matches() {
+        let schema = TableSchema::new(
+            "Rel",
+            vec![ColumnDef::new("A", ValueType::Int), ColumnDef::new("B", ValueType::Int)],
+            None,
+        );
+        let mut a = Table::new(schema);
+        for (x, y) in [(7, 1), (3, 2), (7, 3), (1, 4), (3, 5), (7, 6)] {
+            a.insert(row![x as i64, y as i64]).unwrap();
+        }
+        let mut b = a.clone();
+        a.create_index(0);
+        b.create_index_bulk(0);
+        for key in [1i64, 3, 7, 99] {
+            assert_eq!(a.index_probe(0, &Value::Int(key)), b.index_probe(0, &Value::Int(key)));
+        }
+        assert_eq!(b.index_probe(0, &Value::Int(7)), &[0, 2, 5]);
+    }
+
+    #[test]
+    fn bulk_index_with_nulls_falls_back_to_generic_path() {
+        let schema = TableSchema::new(
+            "N",
+            vec![ColumnDef::new("A", ValueType::Int), ColumnDef::new("B", ValueType::Int)],
+            None,
+        );
+        let mut t = Table::new(schema);
+        t.insert(row![1i64, 1i64]).unwrap();
+        t.insert(Row::new(vec![Value::Null, Value::Int(2)])).unwrap();
+        t.insert(row![1i64, 3i64]).unwrap();
+        t.create_index_bulk(0);
+        assert_eq!(t.index_probe(0, &Value::Int(1)), &[0, 2]);
+        assert_eq!(t.index_probe(0, &Value::Null), &[1]);
+    }
+
+    #[test]
+    fn bulk_index_on_empty_table() {
+        let mut t = Table::new(dna_table().schema().clone());
+        t.create_index_bulk(1);
+        assert!(t.index_probe(1, &Value::str("mRNA")).is_empty());
     }
 
     #[test]

@@ -65,7 +65,7 @@ fn exception_rows_are_exactly_multi_class_pairs_with_the_pruned_path() {
     // Recompute expectations from the pair records (the ground truth).
     let pruned: Vec<_> = cat.metas().iter().filter(|m| m.pruned).collect();
     let mut expected = 0usize;
-    for p in &cat.pairs {
+    for p in cat.pairs() {
         for m in &pruned {
             if m.espair != p.espair {
                 continue;
@@ -101,16 +101,90 @@ fn topology_codes_are_consistent_with_graphs() {
 #[test]
 fn pair_topologies_reference_valid_ids_and_are_sorted() {
     let (_b, _g, _s, cat) = build(99);
-    for p in &cat.pairs {
+    for p in cat.pairs() {
         assert!(!p.topos.is_empty(), "a connected pair has at least one topology");
-        let mut sorted = p.topos.clone();
+        let mut sorted = p.topos.to_vec();
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted, p.topos);
-        for &tid in &p.topos {
+        for &tid in p.topos {
             let m = cat.meta(tid);
             assert_eq!(m.espair, p.espair);
         }
+    }
+}
+
+#[test]
+fn csr_offsets_are_monotone_and_terminal() {
+    for seed in [1u64, 7, 99] {
+        let (_b, _g, _s, cat) = build(seed);
+        let offs = cat.pair_offsets();
+        assert_eq!(
+            offs.len(),
+            cat.pair_count() + 1,
+            "seed {seed}: one offset entry per pair + sentinel"
+        );
+        assert_eq!((offs[0].topos, offs[0].sigs), (0, 0), "seed {seed}: zero sentinel");
+        for w in offs.windows(2) {
+            assert!(w[0].topos <= w[1].topos, "seed {seed}: topo offsets monotone");
+            assert!(w[0].sigs <= w[1].sigs, "seed {seed}: sig offsets monotone");
+        }
+        let last = offs[offs.len() - 1];
+        assert_eq!(last.topos as usize, cat.pair_topo_buffer().len(), "seed {seed}: terminal");
+        assert_eq!(last.sigs as usize, cat.pair_sig_buffer().len(), "seed {seed}: terminal");
+        // Views reassemble the buffers exactly: concatenating every
+        // pair's slices walks each shared buffer front to back.
+        let topo_total: usize = cat.pairs().map(|p| p.topos.len()).sum();
+        let sig_total: usize = cat.pairs().map(|p| p.sigs.len()).sum();
+        assert_eq!(topo_total, cat.pair_topo_buffer().len());
+        assert_eq!(sig_total, cat.pair_sig_buffer().len());
+    }
+}
+
+#[test]
+fn csr_interned_ids_are_in_range() {
+    let (_b, _g, _s, cat) = build(7);
+    for &tid in cat.pair_topo_buffer() {
+        assert!((tid as usize) < cat.topology_count(), "tid {tid} out of range");
+    }
+    for &sig_id in cat.pair_sig_buffer() {
+        assert!((sig_id as usize) < cat.sig_count(), "sig id {sig_id} out of range");
+    }
+    for m in cat.metas() {
+        assert!((m.code_id as usize) < cat.code_count());
+        assert_eq!(cat.code(m.code_id), &m.code, "code interning round-trips");
+    }
+}
+
+#[test]
+fn lefttops_rows_are_a_subset_of_alltops_rows() {
+    for seed in [1u64, 7] {
+        let (_b, _g, _s, cat) = build(seed);
+        let all: std::collections::HashSet<(i64, i64, i64)> = cat
+            .alltops
+            .rows()
+            .iter()
+            .map(|r| (r.get(0).as_int(), r.get(1).as_int(), r.get(2).as_int()))
+            .collect();
+        assert!(cat.lefttops.len() <= cat.alltops.len());
+        for r in cat.lefttops.rows() {
+            let row = (r.get(0).as_int(), r.get(1).as_int(), r.get(2).as_int());
+            assert!(all.contains(&row), "seed {seed}: LeftTops row {row:?} not in AllTops");
+        }
+    }
+}
+
+#[test]
+fn pairs_are_sorted_and_unique_by_key() {
+    let (_b, _g, _s, cat) = build(1);
+    let keys: Vec<_> = cat.pairs().map(|p| p.key()).collect();
+    for w in keys.windows(2) {
+        assert!(
+            w[0] < w[1],
+            "pair keys strictly increasing by (espair, e1, e2): {:?} !< {:?}",
+            w[0],
+            w[1]
+        );
     }
 }
 

@@ -1,0 +1,256 @@
+//! The nine-method differential harness.
+//!
+//! All nine evaluation strategies of §6.1 answer the same question —
+//! the (top-k) l-topology result of a 2-query — on the same substrate,
+//! which makes them natural cross-checks for each other: like CVC4SY's
+//! divide-and-conquer strategies, no single method is trusted until the
+//! independent ones agree on the same benchmarks. This harness drives
+//! seeded randomized workloads (entity-set pair × predicate pair × k ×
+//! ranking scheme) through every `Method` and asserts:
+//!
+//! * the unranked methods (`SQL`, `Full-Top`, `Fast-Top`) return the
+//!   same `tid_set()`;
+//! * the ranked methods return the same top-k **prefix modulo score
+//!   ties**: position-for-position equal scores, and within each tie
+//!   group a set of topologies drawn from the full score class (equal
+//!   to the reference group whenever the class is not truncated at k);
+//! * for all three `RankScheme`s.
+//!
+//! This is the safety net under the catalog's CSR storage rewrite: an
+//! off-by-one in the offset table or a mis-merged buffer shows up here
+//! as two strategies disagreeing, long before a paper-shape benchmark
+//! would notice.
+
+use std::collections::HashSet;
+
+use topology_search::prelude::*;
+use ts_core::{PruneOptions, TopologyId};
+
+/// SplitMix64 — deterministic workload RNG, so every run replays the
+/// same query sequence and failures reproduce.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+struct Harness {
+    biozon: ts_biozon::Biozon,
+    graph: ts_graph::DataGraph,
+    schema: ts_graph::SchemaGraph,
+    catalog: Catalog,
+}
+
+fn harness(seed: u64, scale: f64, l: usize, threshold: u64) -> Harness {
+    let mut cfg = ts_biozon::BiozonConfig::default().scaled(scale);
+    cfg.seed = seed;
+    let biozon = biozon::generate(&cfg);
+    let graph = graph::DataGraph::from_db(&biozon.db).expect("generator is consistent");
+    let schema = graph::SchemaGraph::from_db(&biozon.db);
+    let ids = &biozon.ids;
+    let pairs = vec![
+        EsPair::new(ids.protein, ids.dna),
+        EsPair::new(ids.protein, ids.unigene),
+        EsPair::new(ids.protein, ids.interaction),
+        EsPair::new(ids.dna, ids.unigene),
+        EsPair::new(ids.dna, ids.interaction),
+        EsPair::new(ids.unigene, ids.interaction),
+    ];
+    let opts = ComputeOptions { es_pairs: Some(pairs), ..ComputeOptions::with_l(l) };
+    let (mut catalog, _) = compute_catalog(&biozon.db, &graph, &schema, &opts);
+    prune_catalog(&mut catalog, PruneOptions { threshold, max_pruned: 32 });
+    score_catalog(&mut catalog, &biozon::domain_scorer(&biozon.ids));
+    Harness { biozon, graph, schema, catalog }
+}
+
+/// A random constraint appropriate for the entity set's schema: DNA has
+/// a `type` column, the other sets carry a `desc` column with planted
+/// selectivity keywords.
+fn random_predicate(es: u16, ids: &ts_biozon::SchemaIds, rng: &mut Rng) -> Predicate {
+    if es == ids.dna {
+        match rng.below(3) {
+            0 => Predicate::True,
+            1 => Predicate::eq(1, "mRNA"),
+            _ => Predicate::eq(1, "genomic"),
+        }
+    } else {
+        match rng.below(4) {
+            0 => Predicate::True,
+            1 => biozon::selectivity_predicate(biozon::Selectivity::Selective),
+            2 => biozon::selectivity_predicate(biozon::Selectivity::Medium),
+            _ => biozon::selectivity_predicate(biozon::Selectivity::Unselective),
+        }
+    }
+}
+
+/// Assert a ranked method's output is the reference ranking's top-k
+/// prefix modulo score ties. `full` is the complete (un-truncated)
+/// ranked result; within a tie group the method may return any members
+/// of the score class, but a class that fits inside the prefix must be
+/// returned in full.
+fn assert_topk_prefix(
+    label: &str,
+    got: &[(TopologyId, f64)],
+    full: &[(TopologyId, f64)],
+    k: usize,
+) {
+    let n = k.min(full.len());
+    assert_eq!(got.len(), n, "{label}: expected {n} results, got {}", got.len());
+    for (i, ((gt, gs), (_, fs))) in got.iter().zip(full).enumerate() {
+        assert!(gs == fs, "{label}: position {i} score {gs} (tid {gt}) != reference score {fs}");
+    }
+    let mut i = 0;
+    while i < n {
+        let s = full[i].1;
+        let mut j = i;
+        while j < n && full[j].1 == s {
+            j += 1;
+        }
+        // The full score class (including members past the k cutoff).
+        let class: HashSet<TopologyId> =
+            full.iter().filter(|&&(_, fs)| fs == s).map(|&(t, _)| t).collect();
+        let got_group: HashSet<TopologyId> = got[i..j].iter().map(|&(t, _)| t).collect();
+        assert_eq!(got_group.len(), j - i, "{label}: duplicate tids in tie group at {i}");
+        assert!(
+            got_group.is_subset(&class),
+            "{label}: tie group at score {s} returned tids outside the score class: {got_group:?} ⊄ {class:?}"
+        );
+        i = j;
+    }
+}
+
+#[test]
+fn nine_methods_agree_on_randomized_workloads() {
+    let h = harness(1, 0.12, 2, 3);
+    let ids = &h.biozon.ids;
+    let ctx =
+        QueryContext { db: &h.biozon.db, graph: &h.graph, schema: &h.schema, catalog: &h.catalog };
+    assert!(
+        h.catalog.metas().iter().any(|m| m.pruned),
+        "threshold must actually prune something, or the Fast methods are trivially Full"
+    );
+
+    let espairs = [
+        (ids.protein, ids.dna),
+        (ids.protein, ids.unigene),
+        (ids.protein, ids.interaction),
+        (ids.dna, ids.unigene),
+        (ids.dna, ids.interaction),
+        (ids.unigene, ids.interaction),
+    ];
+    let ks = [1usize, 2, 3, 5, 10, 1_000];
+
+    let mut rng = Rng(0xB10_0B0E);
+    let mut queries = 0usize;
+    let mut nonempty = 0usize;
+    for qi in 0..20 {
+        let (es1, es2) = espairs[rng.below(espairs.len())];
+        let con1 = random_predicate(es1, ids, &mut rng);
+        let con2 = random_predicate(es2, ids, &mut rng);
+        let k = ks[rng.below(ks.len())];
+        for scheme in RankScheme::all() {
+            let q = TopologyQuery::new(es1, con1.clone(), es2, con2.clone(), 2)
+                .with_k(k)
+                .with_scheme(scheme);
+            queries += 1;
+
+            // Ground truth: the complete ranked result (k beyond any
+            // topology count), plus Full-Top's unranked set.
+            let full_ranked = Method::FullTopK.eval(&ctx, &q.clone().with_k(1_000_000));
+            let reference = Method::FullTop.eval(&ctx, &q);
+            let ref_set = reference.tid_set();
+            assert_eq!(
+                full_ranked.tid_set(),
+                ref_set,
+                "query {qi}/{scheme}: ranked ground truth covers a different tid set"
+            );
+            if !ref_set.is_empty() {
+                nonempty += 1;
+            }
+
+            for m in Method::all() {
+                let got = m.eval(&ctx, &q);
+                if m.is_topk() {
+                    assert_topk_prefix(
+                        &format!("query {qi} ({es1}-{es2}, k={k}, {scheme}, {})", m.name()),
+                        &got.topologies,
+                        &full_ranked.topologies,
+                        k,
+                    );
+                } else {
+                    assert_eq!(
+                        got.tid_set(),
+                        ref_set,
+                        "query {qi} ({es1}-{es2}, {scheme}): {} disagrees with Full-Top",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+    assert!(queries >= 50, "harness must exercise at least 50 random queries, ran {queries}");
+    assert!(
+        nonempty >= queries / 4,
+        "too many degenerate (empty-result) queries ({nonempty}/{queries} non-empty) — workload lost its teeth"
+    );
+}
+
+#[test]
+fn nine_methods_agree_across_seeds_without_pruning() {
+    // A second, smaller sweep with pruning disabled (threshold u64::MAX):
+    // LeftTops == AllTops, so any disagreement isolates the methods
+    // themselves rather than the pruning/exception machinery.
+    for seed in [7u64, 23] {
+        let h = harness(seed, 0.08, 2, u64::MAX);
+        let ids = &h.biozon.ids;
+        let ctx = QueryContext {
+            db: &h.biozon.db,
+            graph: &h.graph,
+            schema: &h.schema,
+            catalog: &h.catalog,
+        };
+        let mut rng = Rng(seed);
+        for qi in 0..5 {
+            let (es1, es2) = [(ids.protein, ids.dna), (ids.dna, ids.unigene)][rng.below(2)];
+            let q = TopologyQuery::new(
+                es1,
+                random_predicate(es1, ids, &mut rng),
+                es2,
+                random_predicate(es2, ids, &mut rng),
+                2,
+            )
+            .with_k(4)
+            .with_scheme(RankScheme::Domain);
+            let full_ranked = Method::FullTopK.eval(&ctx, &q.clone().with_k(1_000_000));
+            let reference = Method::FullTop.eval(&ctx, &q);
+            for m in Method::all() {
+                let got = m.eval(&ctx, &q);
+                if m.is_topk() {
+                    assert_topk_prefix(
+                        &format!("seed {seed} query {qi} {}", m.name()),
+                        &got.topologies,
+                        &full_ranked.topologies,
+                        q.k,
+                    );
+                } else {
+                    assert_eq!(
+                        got.tid_set(),
+                        reference.tid_set(),
+                        "seed {seed} query {qi} {}",
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+}

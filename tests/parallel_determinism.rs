@@ -23,12 +23,13 @@ fn assert_catalogs_identical(c1: &Catalog, c2: &Catalog) {
         assert_eq!(m1.graph.labels, m2.graph.labels);
         assert_eq!(m1.graph.edges, m2.graph.edges);
     }
-    assert_eq!(c1.pairs.len(), c2.pairs.len());
-    for (p1, p2) in c1.pairs.iter().zip(c2.pairs.iter()) {
+    assert_eq!(c1.pair_count(), c2.pair_count());
+    for (p1, p2) in c1.pairs().zip(c2.pairs()) {
         assert_eq!((p1.espair, p1.e1, p1.e2), (p2.espair, p2.e1, p2.e2));
         assert_eq!(p1.topos, p2.topos);
         assert_eq!(p1.sigs, p2.sigs);
     }
+    assert_eq!(c1.pair_offsets(), c2.pair_offsets());
     for (t1, t2) in [(&c1.alltops, &c2.alltops), (&c1.lefttops, &c2.lefttops)] {
         assert_eq!(t1.len(), t2.len());
         for (r1, r2) in t1.rows().iter().zip(t2.rows()) {
@@ -68,6 +69,34 @@ fn work_stealing_build_matches_serial_byte_for_byte() {
         s_serial.canon_hits + s_serial.canon_misses,
         s_forced.canon_hits + s_forced.canon_misses
     );
+}
+
+#[test]
+fn determinism_matrix_across_scales_and_thread_counts() {
+    // One scale is not enough: chunking degenerates differently on a
+    // tiny instance (one source per chunk) than on a medium one (full
+    // 256-source chunks), and the thread count decides how interleaved
+    // the per-worker canonicalizer memos get. Sweep both axes; the
+    // catalogs must be identical to the serial build everywhere.
+    for (size, scale) in [("tiny", 0.05), ("small", 0.1), ("medium", 0.25)] {
+        let biozon = biozon::generate(&biozon::BiozonConfig::default().scaled(scale));
+        let graph = graph::DataGraph::from_db(&biozon.db).expect("generator is consistent");
+        let schema = graph::SchemaGraph::from_db(&biozon.db);
+        let (c_serial, s_serial) =
+            compute_catalog(&biozon.db, &graph, &schema, &ComputeOptions::with_l(3));
+        for threads in [1usize, 2, 4] {
+            let opts = ComputeOptions {
+                parallel: true,
+                min_parallel_sources: 1,
+                max_threads: threads,
+                ..ComputeOptions::with_l(3)
+            };
+            let (c, s) = compute_catalog(&biozon.db, &graph, &schema, &opts);
+            assert_eq!(s_serial.pairs, s.pairs, "{size} × {threads} threads");
+            assert_eq!(s_serial.paths, s.paths, "{size} × {threads} threads");
+            assert_catalogs_identical(&c_serial, &c);
+        }
+    }
 }
 
 #[test]

@@ -8,7 +8,9 @@
 //! * range strategies over ints/floats, tuple strategies, [`Just`];
 //! * [`collection::vec`] and [`option::of`];
 //! * the [`proptest!`] macro with `#![proptest_config(...)]` and
-//!   [`ProptestConfig::with_cases`];
+//!   [`ProptestConfig::with_cases`] (the `PROPTEST_CASES` environment
+//!   variable overrides every configured count — CI's boosted
+//!   release-mode test step relies on this);
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
 //!
 //! Inputs are generated from a deterministic per-test RNG (seeded from the
@@ -65,15 +67,27 @@ pub mod test_runner {
         pub cases: u32,
     }
 
+    /// `PROPTEST_CASES`, if set and parseable.
+    ///
+    /// Stub divergence from the real crate (where the env var only
+    /// feeds `Config::default()`): here it overrides *every* case
+    /// count, including `with_cases`. The workspace's suites all pin
+    /// debug-friendly counts via `with_cases`, so an env-only override
+    /// would never reach them — and CI's boosted release-mode test run
+    /// is exactly the place where the pinned counts should be ignored.
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok()?.parse().ok()
+    }
+
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 256 }
+            ProptestConfig { cases: env_cases().unwrap_or(256) }
         }
     }
 
     impl ProptestConfig {
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig { cases: env_cases().unwrap_or(cases) }
         }
     }
 }
