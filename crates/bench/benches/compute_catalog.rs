@@ -15,12 +15,76 @@
 //!   at the workspace root, independent of cargo's bench cwd).
 //! * `TS_BENCH_SCALE` — extra multiplier on every size (ts-bench wide).
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use ts_bench::{header, paper_espairs, scale_from_env};
 use ts_biozon::{generate, BiozonConfig};
-use ts_core::{compute_catalog, ComputeOptions, ComputeStats};
+use ts_core::{compute_catalog, Catalog, ComputeOptions, ComputeStats};
 use ts_graph::{DataGraph, SchemaGraph};
+use ts_storage::Table;
+
+/// Counting allocator: the harness's proof that the columnar store
+/// actually removed the per-row allocations, not just shuffled them.
+/// Counting is gated so the timed build loop pays one relaxed load per
+/// allocation instead of an atomic RMW — the timings stay comparable
+/// to runs under the plain `System` allocator.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Replay AllTops materialization — the `finalize` loop that used to
+/// build one `Row(Vec<Value>)` per row — against the finished catalog's
+/// rows, counting heap allocations. With the columnar store the whole
+/// loop must stay O(columns): a handful of buffer reservations, nothing
+/// per row. Asserted here so a regression fails the bench run itself.
+fn measure_alltops_allocs(cat: &Catalog) -> u64 {
+    let rows: Vec<[i64; 3]> =
+        cat.alltops.rows().map(|r| [r.as_int(0), r.as_int(1), r.as_int(2)]).collect();
+    let schema = cat.alltops.schema().clone();
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let mut table = Table::new(schema);
+    table.reserve(rows.len());
+    for r in &rows {
+        table.insert_ints(r).expect("alltops schema is all-Int");
+    }
+    COUNTING.store(false, Ordering::Relaxed);
+    let delta = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(table.len(), rows.len());
+    std::hint::black_box(&table);
+    assert!(
+        delta <= 16,
+        "AllTops materialization must be O(columns) allocations, measured {delta} for {} rows",
+        rows.len()
+    );
+    delta
+}
 
 struct SizeSpec {
     name: &'static str,
@@ -51,6 +115,12 @@ struct Row {
     /// CSR pair-store payload alone (keys + offset table + shared
     /// topo/sig buffers), bytes.
     pair_bytes: usize,
+    /// The AllTops table alone (columnar buffers + hash indexes), bytes.
+    alltops_bytes: usize,
+    /// Heap allocations measured while re-materializing AllTops into a
+    /// fresh columnar table (O(columns), asserted — the seed layout paid
+    /// one per row).
+    alltops_materialize_allocs: u64,
     stats: ComputeStats,
 }
 
@@ -75,21 +145,30 @@ fn run_method(
     // Warm-up (also pre-faults the generated tables).
     let (_, mut stats) = compute_catalog(&biozon.db, g, schema, &opts);
     let mut samples = Vec::with_capacity(spec.iters);
-    let mut catalog_bytes = 0;
-    let mut pair_bytes = 0;
-    for _ in 0..spec.iters {
+    let mut last = None;
+    for it in 0..spec.iters {
         let t0 = Instant::now();
         let (cat, s) = compute_catalog(&biozon.db, g, schema, &opts);
         samples.push(t0.elapsed().as_nanos());
         std::hint::black_box(cat.topology_count());
-        catalog_bytes = cat.heap_size();
-        pair_bytes = cat.pair_bytes();
         stats = s;
+        // Keep only the final catalog (retaining every iteration's
+        // would double resident heap during the timed builds).
+        if it + 1 == spec.iters {
+            last = Some(cat);
+        }
     }
+    // Size and allocation audits run once, on the last catalog, outside
+    // the timed loop.
+    let cat = last.expect("iters >= 1");
+    let catalog_bytes = cat.heap_size();
+    let pair_bytes = cat.pair_bytes();
+    let alltops_bytes = cat.alltops.heap_size();
+    let alltops_materialize_allocs = measure_alltops_allocs(&cat);
     let ns = median(samples);
     let method = if parallel { "parallel" } else { "serial" };
     println!(
-        "compute_catalog/{}/{:<8} {:>12.3} ms/iter  ({} pairs, {} paths, {} topologies, memo hit rate {:.3}, catalog {:.1} KiB, pair store {:.1} KiB)",
+        "compute_catalog/{}/{:<8} {:>12.3} ms/iter  ({} pairs, {} paths, {} topologies, memo hit rate {:.3}, catalog {:.1} KiB, pair store {:.1} KiB, AllTops {:.1} KiB in {} allocs)",
         spec.name,
         method,
         ns as f64 / 1e6,
@@ -98,7 +177,9 @@ fn run_method(
         stats.topologies,
         stats.canon_hit_rate(),
         catalog_bytes as f64 / 1024.0,
-        pair_bytes as f64 / 1024.0
+        pair_bytes as f64 / 1024.0,
+        alltops_bytes as f64 / 1024.0,
+        alltops_materialize_allocs
     );
     rows.push(Row {
         size: spec.name,
@@ -113,6 +194,8 @@ fn run_method(
         iters: spec.iters,
         catalog_bytes,
         pair_bytes,
+        alltops_bytes,
+        alltops_materialize_allocs,
         stats,
     });
 }
@@ -129,7 +212,7 @@ fn emit_json(rows: &[Row]) {
     );
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"size\": \"{}\", \"method\": \"{}\", \"scale\": {}, \"entities\": {}, \"edges\": {}, \"pairs\": {}, \"paths\": {}, \"topologies\": {}, \"ns_per_iter\": {}, \"iters\": {}, \"canon_hits\": {}, \"canon_misses\": {}, \"canon_hit_rate\": {:.4}, \"catalog_bytes\": {}, \"pair_bytes\": {}}}{}\n",
+            "    {{\"size\": \"{}\", \"method\": \"{}\", \"scale\": {}, \"entities\": {}, \"edges\": {}, \"pairs\": {}, \"paths\": {}, \"topologies\": {}, \"ns_per_iter\": {}, \"iters\": {}, \"canon_hits\": {}, \"canon_misses\": {}, \"canon_hit_rate\": {:.4}, \"catalog_bytes\": {}, \"pair_bytes\": {}, \"alltops_bytes\": {}, \"alltops_materialize_allocs\": {}}}{}\n",
             r.size,
             r.method,
             r.scale,
@@ -145,6 +228,8 @@ fn emit_json(rows: &[Row]) {
             r.stats.canon_hit_rate(),
             r.catalog_bytes,
             r.pair_bytes,
+            r.alltops_bytes,
+            r.alltops_materialize_allocs,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

@@ -338,7 +338,7 @@ mod tests {
         for name in ["Protein", "DNA", "Encodes", "Interacts_P"] {
             let t1 = b1.db.table_by_name(name).unwrap();
             let t2 = b2.db.table_by_name(name).unwrap();
-            assert_eq!(t1.rows(), t2.rows(), "{name} differs");
+            assert!(t1.rows().eq(t2.rows()), "{name} differs");
         }
     }
 
@@ -348,7 +348,7 @@ mod tests {
         let b2 = generate(&BiozonConfig::small(2));
         let t1 = b1.db.table_by_name("Encodes").unwrap();
         let t2 = b2.db.table_by_name("Encodes").unwrap();
-        assert_ne!(t1.rows(), t2.rows());
+        assert!(!t1.rows().eq(t2.rows()));
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use std::collections::HashMap;
 
 use ts_graph::{CanonicalCode, LGraph, PathSig};
-use ts_storage::{row, ColumnDef, Table, TableSchema, Value, ValueType};
+use ts_storage::{ColumnDef, Table, TableSchema, Value, ValueType};
 
 use crate::query::RankScheme;
 
@@ -420,12 +420,17 @@ impl Catalog {
         for &tid in &self.pair_topos {
             self.metas[tid as usize].freq += 1;
         }
+        // Materialize AllTops straight into its column buffers: with the
+        // reserve, the whole loop performs zero heap allocations (the
+        // bench's allocation counter holds it to O(columns)).
         self.alltops.reserve(self.pair_topos.len());
         for (i, k) in self.pair_keys.iter().enumerate() {
             let (lo, hi) =
                 (self.pair_offsets[i].topos as usize, self.pair_offsets[i + 1].topos as usize);
             for &tid in &self.pair_topos[lo..hi] {
-                self.alltops.insert(row![k.e1, k.e2, tid as i64]).expect("alltops schema is fixed");
+                self.alltops
+                    .insert_ints(&[k.e1, k.e2, tid as i64])
+                    .expect("alltops schema is fixed");
             }
         }
         self.alltops.create_index_bulk(0);
@@ -497,7 +502,7 @@ impl Catalog {
     pub fn excp_contains(&self, e1: i64, e2: i64, tid: TopologyId) -> bool {
         self.excptops.index_probe(0, &Value::Int(e1)).iter().any(|&rid| {
             let r = self.excptops.row(rid);
-            r.get(1).as_int() == e2 && r.get(2).as_int() == tid as i64
+            r.as_int(1) == e2 && r.as_int(2) == tid as i64
         })
     }
 
@@ -526,7 +531,7 @@ impl Catalog {
         ];
         for (table, which, bytes) in parts {
             for r in table.rows() {
-                let tid = r.get(2).as_int() as usize;
+                let tid = r.as_int(2) as usize;
                 let espair = self.metas[tid].espair;
                 let slot = acc.entry(espair).or_default();
                 match which {

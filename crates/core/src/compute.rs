@@ -234,6 +234,9 @@ impl<'a> Worker<'a> {
         // Group by destination: one sort of the scratch vector replaces
         // the seed's per-source hash map (and its key re-hash per group).
         self.keyed.sort_unstable();
+        // One reusable ref buffer for every destination group of this
+        // source (the old per-group `collect` allocated once per pair).
+        let mut refs: Vec<ts_graph::PathRef<'_>> = Vec::new();
         let mut i = 0;
         while i < self.keyed.len() {
             let b = self.keyed[i].0;
@@ -241,8 +244,8 @@ impl<'a> Worker<'a> {
             while j < self.keyed.len() && self.keyed[j].0 == b {
                 j += 1;
             }
-            let refs: Vec<ts_graph::PathRef<'_>> =
-                self.keyed[i..j].iter().map(|&(_, idx)| self.arena.get(idx as usize)).collect();
+            refs.clear();
+            refs.extend(self.keyed[i..j].iter().map(|&(_, idx)| self.arena.get(idx as usize)));
             let tops = pair_topologies(self.g, &refs, self.opts.top_opts, &mut self.memo);
             self.locals.push(LocalPair {
                 e1: self.g.node_entity(a),
@@ -460,7 +463,7 @@ mod tests {
         }
         // The materialized tables must agree row for row as well.
         assert_eq!(c1.alltops.len(), c2.alltops.len());
-        for (r1, r2) in c1.alltops.rows().iter().zip(c2.alltops.rows()) {
+        for (r1, r2) in c1.alltops.rows().zip(c2.alltops.rows()) {
             assert_eq!(r1, r2);
         }
         // Aggregate work is identical even though memo locality differs.

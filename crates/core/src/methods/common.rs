@@ -46,8 +46,8 @@ pub fn selected_ids(ctx: &QueryContext<'_>, es: u16, con: &Predicate, work: &Wor
     let mut out = HashSet::new();
     for row in table.rows() {
         work.tick(1);
-        if con.eval(row) {
-            out.insert(row.get(pk).as_int());
+        if con.eval_ref(row) {
+            out.insert(row.as_int(pk));
         }
     }
     out
@@ -64,7 +64,7 @@ pub fn entity_satisfies(
     let (table, _pk) = entity_table(ctx, es);
     work.tick(1);
     match table.by_pk(&Value::Int(id)) {
-        Some(row) => con.eval(row),
+        Some(row) => con.eval_ref(row),
         None => false,
     }
 }

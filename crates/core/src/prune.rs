@@ -17,8 +17,6 @@
 //! exactly when its topology set does not contain T — which for a
 //! single-path topology happens iff the pair has ≥ 2 path classes.
 
-use ts_storage::row;
-
 use crate::catalog::{Catalog, TopologyId};
 
 /// Pruning configuration.
@@ -72,12 +70,16 @@ pub fn prune_catalog(catalog: &mut Catalog, opts: PruneOptions) -> PruneReport {
         m.pruned = pruned_ids.contains(&m.id);
     }
 
-    // Rebuild LeftTops = AllTops minus pruned TIDs.
+    // Rebuild LeftTops = AllTops minus pruned TIDs: surviving rows are
+    // copied column-buffer to column-buffer through the all-Int fast
+    // lane, no owned row in between.
     let mut lefttops = ts_storage::Table::new(catalog.lefttops.schema().clone());
     for r in catalog.alltops.rows() {
-        let tid = r.get(2).as_int() as TopologyId;
+        let tid = r.as_int(2) as TopologyId;
         if !pruned_ids.contains(&tid) {
-            lefttops.insert(r.clone()).expect("copy of valid row");
+            lefttops
+                .insert_ints(&[r.as_int(0), r.as_int(1), tid as i64])
+                .expect("copy of valid row");
         }
     }
     lefttops.create_index_bulk(0);
@@ -107,7 +109,7 @@ pub fn prune_catalog(catalog: &mut Catalog, opts: PruneOptions) -> PruneReport {
                 }
                 if p.sigs.contains(&sig_id) && !p.topos.contains(&tid) {
                     excptops
-                        .insert(row![p.e1, p.e2, tid as i64])
+                        .insert_ints(&[p.e1, p.e2, tid as i64])
                         .expect("excptops schema is fixed");
                     excp_rows += 1;
                 }
@@ -156,11 +158,7 @@ mod tests {
     }
 
     fn pruned_row_count(cat: &Catalog) -> usize {
-        cat.alltops
-            .rows()
-            .iter()
-            .filter(|r| cat.meta(r.get(2).as_int() as TopologyId).pruned)
-            .count()
+        cat.alltops.rows().filter(|r| cat.meta(r.as_int(2) as TopologyId).pruned).count()
     }
 
     #[test]

@@ -66,16 +66,21 @@ impl<'a> Idgj<'a> {
         }
     }
 
-    fn probe(&self, key: &Value) -> Vec<Row> {
+    /// Probe the inner index and queue `outer ++ inner` tuples (reversed:
+    /// [`Operator::next`] pops from the end). Output tuples are built in
+    /// one allocation from the borrowed inner rows.
+    fn push_matches(&mut self, outer_row: &Row) {
         self.work.tick(1);
-        if self.inner.schema().primary_key == Some(self.inner_col) {
-            self.inner.by_pk(key).map(|r| vec![r.clone()]).unwrap_or_default()
+        let inner: &'a Table = self.inner;
+        let key = outer_row.get(self.outer_col);
+        if inner.schema().primary_key == Some(self.inner_col) {
+            if let Some(r) = inner.by_pk(key) {
+                self.pending.push(outer_row.concat_ref(r));
+            }
         } else {
-            self.inner
-                .index_probe(self.inner_col, key)
-                .iter()
-                .map(|&rid| self.inner.row(rid).clone())
-                .collect()
+            for &rid in inner.index_probe(self.inner_col, key).iter().rev() {
+                self.pending.push(outer_row.concat_ref(inner.row(rid)));
+            }
         }
     }
 
@@ -96,10 +101,7 @@ impl Operator for Idgj<'_> {
             let outer_row = self.next_outer()?;
             self.work.tick(1);
             self.current_group = Some(outer_row.get(self.group_col).clone());
-            let matches = self.probe(outer_row.get(self.outer_col));
-            for m in matches.iter().rev() {
-                self.pending.push(outer_row.concat(m));
-            }
+            self.push_matches(&outer_row);
         }
     }
 
@@ -398,7 +400,7 @@ mod tests {
     impl Operator for TableScanHelper<'_> {
         fn next(&mut self) -> Option<Row> {
             if self.pos < self.t.len() {
-                let r = self.t.row(self.pos as u32).clone();
+                let r = self.t.row(self.pos as u32).to_row();
                 self.pos += 1;
                 Some(r)
             } else {

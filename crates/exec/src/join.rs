@@ -102,16 +102,22 @@ impl<'a> IndexNlJoin<'a> {
         IndexNlJoin { outer, inner, outer_col, inner_col, pending: Vec::new(), work }
     }
 
-    fn probe(&self, key: &Value) -> Vec<Row> {
+    /// Probe the inner index and queue `outer ++ inner` tuples (reversed:
+    /// [`Operator::next`] pops from the end). Each output tuple is built
+    /// in a single allocation from the borrowed inner row — the inner
+    /// side is never materialized on its own.
+    fn push_matches(&mut self, outer_row: &Row) {
         self.work.tick(1); // one index probe
-        if self.inner.schema().primary_key == Some(self.inner_col) {
-            self.inner.by_pk(key).map(|r| vec![r.clone()]).unwrap_or_default()
+        let inner: &'a Table = self.inner;
+        let key = outer_row.get(self.outer_col);
+        if inner.schema().primary_key == Some(self.inner_col) {
+            if let Some(r) = inner.by_pk(key) {
+                self.pending.push(outer_row.concat_ref(r));
+            }
         } else {
-            self.inner
-                .index_probe(self.inner_col, key)
-                .iter()
-                .map(|&rid| self.inner.row(rid).clone())
-                .collect()
+            for &rid in inner.index_probe(self.inner_col, key).iter().rev() {
+                self.pending.push(outer_row.concat_ref(inner.row(rid)));
+            }
         }
     }
 }
@@ -124,10 +130,7 @@ impl Operator for IndexNlJoin<'_> {
             }
             let outer_row = self.outer.next()?;
             self.work.tick(1);
-            let matches = self.probe(outer_row.get(self.outer_col));
-            for m in matches.iter().rev() {
-                self.pending.push(outer_row.concat(m));
-            }
+            self.push_matches(&outer_row);
         }
     }
 

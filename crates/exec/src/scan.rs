@@ -25,8 +25,10 @@ impl Operator for TableScan<'_> {
             let row = self.table.row(self.pos as u32);
             self.pos += 1;
             self.work.tick(1);
-            if self.pred.eval(row) {
-                return Some(row.clone());
+            // The predicate runs on the borrowed columnar view; only a
+            // surviving row is materialized as an output tuple.
+            if self.pred.eval_ref(row) {
+                return Some(row.to_row());
             }
         }
         None
@@ -75,7 +77,7 @@ impl Operator for IndexLookupScan<'_> {
             let id = self.postings[self.posting_pos];
             self.posting_pos += 1;
             self.work.tick(1);
-            Some(self.table.row(id).clone())
+            Some(self.table.row(id).to_row())
         } else {
             None
         }

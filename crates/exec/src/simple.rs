@@ -105,13 +105,17 @@ pub struct Distinct<'a> {
     input: BoxedOp<'a>,
     key_cols: Vec<usize>,
     seen: HashSet<Row>,
+    /// Reusable projection buffer: duplicate rows (the common case in
+    /// the join output this operator caps) probe the seen-set through
+    /// this scratch and allocate nothing; only a *new* key is cloned in.
+    scratch: Row,
     work: Work,
 }
 
 impl<'a> Distinct<'a> {
     /// Distinct over `key_cols` of `input`.
     pub fn new(input: BoxedOp<'a>, key_cols: Vec<usize>, work: Work) -> Self {
-        Distinct { input, key_cols, seen: HashSet::new(), work }
+        Distinct { input, key_cols, seen: HashSet::new(), scratch: Row::new(Vec::new()), work }
     }
 }
 
@@ -120,10 +124,12 @@ impl Operator for Distinct<'_> {
         loop {
             let row = self.input.next()?;
             self.work.tick(1);
-            let key = row.project(&self.key_cols);
-            if self.seen.insert(key) {
-                return Some(row);
+            row.project_into(&self.key_cols, &mut self.scratch);
+            if self.seen.contains(&self.scratch) {
+                continue;
             }
+            self.seen.insert(self.scratch.clone());
+            return Some(row);
         }
     }
 

@@ -115,7 +115,8 @@ proptest! {
         let mut hdgj = Hdgj::new(grouped(outer_rows.clone()), 1, inner_scan, 0, 0, Work::new());
         let got_h = collect_all(&mut hdgj);
 
-        let expected = nl_join(&outer_rows, 1, inner.rows(), 0);
+        let inner_rows: Vec<Row> = inner.rows().map(|r| r.to_row()).collect();
+        let expected = nl_join(&outer_rows, 1, &inner_rows, 0);
         prop_assert_eq!(sorted_multiset(got_i.clone()), sorted_multiset(expected));
         prop_assert_eq!(sorted_multiset(got_h), sorted_multiset(got_i.clone()));
         // Group order preserved in both.

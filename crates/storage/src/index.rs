@@ -25,38 +25,31 @@ impl HashIndex {
         Self::default()
     }
 
+    /// Empty index pre-sized for `distinct` keys — bulk builds size the
+    /// map once instead of rehash-growing run by run.
+    pub fn with_capacity(distinct: usize) -> Self {
+        HashIndex { map: HashMap::with_capacity(distinct) }
+    }
+
     /// Insert a posting.
     pub fn insert(&mut self, key: Value, row: RowId) {
         self.map.entry(key).or_default().push(row);
     }
 
-    /// Bulk-build from row ids pre-sorted by key (ties by ascending id,
-    /// so probe results match the row-by-row build exactly). Each
-    /// distinct key becomes one map entry whose posting vector is
-    /// allocated at its exact final length, and the map itself is
-    /// pre-sized to the distinct-key count — no per-row `entry()`
-    /// rehash-and-grow, no posting-vector reallocation.
-    pub fn from_sorted_postings<'r>(
-        sorted_ids: &[RowId],
-        key_of: impl Fn(RowId) -> &'r Value,
-    ) -> Self {
-        let distinct = sorted_ids.windows(2).filter(|w| key_of(w[0]) != key_of(w[1])).count()
-            + usize::from(!sorted_ids.is_empty());
-        let mut map: HashMap<Value, Vec<RowId>> = HashMap::with_capacity(distinct);
-        let mut i = 0;
-        while i < sorted_ids.len() {
-            let key = key_of(sorted_ids[i]);
-            let mut j = i + 1;
-            while j < sorted_ids.len() && key_of(sorted_ids[j]) == key {
-                j += 1;
-            }
-            map.insert(key.clone(), sorted_ids[i..j].to_vec());
-            i = j;
-        }
-        HashIndex { map }
+    /// Bulk-insert one fully formed posting run: every row id in `ids`
+    /// (pre-sorted ascending) carries `key`. The posting vector is
+    /// allocated at its exact final length — no per-row `entry()`
+    /// churn. Bulk index builds detect runs on the columnar buffers
+    /// (cheap cell comparisons) and materialize exactly one owned key
+    /// per distinct value for this call. The caller guarantees each
+    /// key is handed over at most once per build.
+    pub fn insert_run(&mut self, key: Value, ids: &[RowId]) {
+        debug_assert!(!ids.is_empty(), "a run has at least one posting");
+        let prev = self.map.insert(key, ids.to_vec());
+        debug_assert!(prev.is_none(), "insert_run called twice for one key");
     }
 
-    /// [`HashIndex::from_sorted_postings`] specialized to integer keys
+    /// [`HashIndex::insert_run`]'s whole-build sibling specialized to integer keys
     /// already extracted into a flat `(key, id)` run: the sort that
     /// produced the run never touched a `Row`, so all-Int columns (the
     /// catalog's E1/E2/TID) index without any per-comparison pointer

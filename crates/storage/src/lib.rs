@@ -7,6 +7,10 @@
 //! small but complete relational engine with
 //!
 //! * typed [`Value`]s and [`Row`]s,
+//! * columnar [`Table`] storage ([`ColumnStore`]: one flat buffer per
+//!   typed column, a per-table string pool, null bitmaps) read through
+//!   borrowing [`RowRef`] views — zero per-row heap allocations on
+//!   insert, scan, and clone,
 //! * [`Table`]s with primary-key and secondary hash [`index`]es,
 //! * composable [`Predicate`]s, including the paper's keyword-containment
 //!   predicate (`desc.ct('enzyme')`) and structured equality predicates,
@@ -19,6 +23,7 @@
 //! Everything is deliberately simple, deterministic and allocation-aware;
 //! the point is a faithful, inspectable substrate, not a general DBMS.
 
+pub mod column;
 pub mod db;
 pub mod error;
 pub mod index;
@@ -29,6 +34,7 @@ pub mod stats;
 pub mod table;
 pub mod value;
 
+pub use column::{ColumnStore, RowRef};
 pub use db::{Database, EntitySetDef, EntitySetId, RelSetDef, RelSetId};
 pub use error::StorageError;
 pub use index::HashIndex;

@@ -9,6 +9,7 @@
 //! [`crate::stats::TableStats`] — that estimate is the optimizer's
 //! `ρ_i` parameter (§5.4.3, item 5).
 
+use crate::column::RowRef;
 use crate::row::Row;
 use crate::schema::ColumnId;
 use crate::stats::TableStats;
@@ -53,6 +54,25 @@ impl Predicate {
     /// Disjunction helper.
     pub fn or(self, other: Predicate) -> Self {
         Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate against a borrowed columnar row — the allocation-free
+    /// twin of [`Predicate::eval`], used by table scans and the query
+    /// methods' σ passes. Semantics are identical cell for cell (the
+    /// storage-conformance suite holds the two to that).
+    pub fn eval_ref(&self, row: RowRef<'_>) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Eq(col, v) => row.value_eq(*col, v),
+            Predicate::Contains(col, kw) => match row.try_str(*col) {
+                Some(s) => s.split_whitespace().any(|tok| tok == kw),
+                None => false,
+            },
+            Predicate::And(a, b) => a.eval_ref(row) && b.eval_ref(row),
+            Predicate::Or(a, b) => a.eval_ref(row) || b.eval_ref(row),
+            Predicate::Not(a) => !a.eval_ref(row),
+        }
     }
 
     /// Evaluate against a row. NULL never satisfies Eq/Contains.

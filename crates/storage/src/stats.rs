@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use crate::row::Row;
+use crate::column::ColumnStore;
 use crate::schema::{ColumnId, TableSchema};
 use crate::value::{Value, ValueType};
 
@@ -40,46 +40,48 @@ pub struct TableStats {
 }
 
 impl TableStats {
-    /// Collect statistics in one pass over `rows`.
-    pub fn collect(schema: &TableSchema, rows: &[Row]) -> Self {
-        let mut counters: Vec<HashMap<Value, u64>> = vec![HashMap::new(); schema.arity()];
-        let mut token_freq: Vec<HashMap<String, u64>> = vec![HashMap::new(); schema.arity()];
-
-        for row in rows {
-            for (c, v) in row.values().enumerate() {
-                if v.is_null() {
-                    continue;
-                }
-                *counters[c].entry(v.clone()).or_insert(0) += 1;
-                if schema.column_type(c) == ValueType::Str {
-                    if let Value::Str(s) = v {
-                        // Count each token once per row (document frequency).
-                        let mut seen: Vec<&str> = Vec::new();
-                        for tok in s.split_whitespace() {
-                            if !seen.contains(&tok) {
-                                seen.push(tok);
-                                *token_freq[c].entry(tok.to_string()).or_insert(0) += 1;
+    /// Collect statistics from the columnar buffers, column by column:
+    /// integer columns hash their raw `i64` buffer, string columns count
+    /// rows per pooled string — so token document frequencies are
+    /// computed once per *distinct* string and multiplied by its row
+    /// count, instead of re-tokenizing every row.
+    pub fn collect(schema: &TableSchema, store: &ColumnStore) -> Self {
+        let columns = (0..schema.arity())
+            .map(|c| {
+                // One counting pass per column: Str columns derive value
+                // counts AND token frequencies from a single str_counts
+                // scan; Int columns take the sort-and-run-length pass.
+                let mut token_doc_freq: HashMap<String, u64> = HashMap::new();
+                let counts: Vec<(Value, u64)> = match schema.column_type(c) {
+                    ValueType::Int => store.value_counts(c),
+                    ValueType::Str => store
+                        .str_counts(c)
+                        .into_iter()
+                        .map(|(s, rows)| {
+                            // Count each token once per row (document
+                            // frequency); rows sharing a pooled string
+                            // share its token set.
+                            let mut seen: Vec<&str> = Vec::new();
+                            for tok in s.split_whitespace() {
+                                if !seen.contains(&tok) {
+                                    seen.push(tok);
+                                    *token_doc_freq.entry(tok.to_string()).or_insert(0) += rows;
+                                }
                             }
-                        }
-                    }
-                }
-            }
-        }
-
-        let columns = counters
-            .into_iter()
-            .zip(token_freq)
-            .map(|(counter, tokens)| {
-                let non_null: u64 = counter.values().sum();
-                let distinct = counter.len() as u64;
-                let mut mcv: Vec<(Value, u64)> = counter.into_iter().collect();
+                            (Value::Str(std::sync::Arc::clone(s)), rows)
+                        })
+                        .collect(),
+                };
+                let non_null: u64 = counts.iter().map(|&(_, n)| n).sum();
+                let distinct = counts.len() as u64;
+                let mut mcv = counts;
                 mcv.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
                 mcv.truncate(MCV_LIMIT);
-                ColumnStats { non_null, distinct, mcv, token_doc_freq: tokens }
+                ColumnStats { non_null, distinct, mcv, token_doc_freq }
             })
             .collect();
 
-        TableStats { rows: rows.len() as u64, columns }
+        TableStats { rows: store.len() as u64, columns }
     }
 
     /// Selectivity of `col = value`.
@@ -154,13 +156,24 @@ mod tests {
         )
     }
 
-    fn rows() -> Vec<Row> {
-        vec![
-            row![1i64, "mRNA", "human ubiquitin carrier protein mRNA"],
-            row![2i64, "mRNA", "homo sapiens MMS2 mRNA complete cds"],
-            row![3i64, "EST", "sampled short sequence"],
-            row![4i64, "genomic", "chromosome fragment"],
-        ]
+    fn store_of(schema: &TableSchema, rows: &[crate::row::Row]) -> ColumnStore {
+        let mut s = ColumnStore::new(schema.columns.iter().map(|c| c.ty));
+        for r in rows {
+            s.push_row(r);
+        }
+        s
+    }
+
+    fn rows() -> ColumnStore {
+        store_of(
+            &schema(),
+            &[
+                row![1i64, "mRNA", "human ubiquitin carrier protein mRNA"],
+                row![2i64, "mRNA", "homo sapiens MMS2 mRNA complete cds"],
+                row![3i64, "EST", "sampled short sequence"],
+                row![4i64, "genomic", "chromosome fragment"],
+            ],
+        )
     }
 
     #[test]
@@ -188,15 +201,37 @@ mod tests {
     #[test]
     fn join_selectivity_uses_max_distinct() {
         let a = TableStats::collect(&schema(), &rows());
-        let b = TableStats::collect(&schema(), &rows()[..2]);
+        let two = store_of(
+            &schema(),
+            &[
+                row![1i64, "mRNA", "human ubiquitin carrier protein mRNA"],
+                row![2i64, "mRNA", "homo sapiens MMS2 mRNA complete cds"],
+            ],
+        );
+        let b = TableStats::collect(&schema(), &two);
         let s = join_selectivity(&a, 0, &b, 0);
         assert!((s - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn empty_table_has_zero_selectivity() {
-        let st = TableStats::collect(&schema(), &[]);
+        let st = TableStats::collect(&schema(), &store_of(&schema(), &[]));
         assert_eq!(st.eq_selectivity(1, &Value::str("mRNA")), 0.0);
         assert_eq!(st.contains_selectivity(2, "x"), 0.0);
+    }
+
+    #[test]
+    fn nulls_excluded_from_counts() {
+        let s = store_of(
+            &schema(),
+            &[
+                row![1i64, "mRNA", "alpha beta"],
+                crate::row::Row::new(vec![Value::Int(2), Value::Null, Value::Null]),
+            ],
+        );
+        let st = TableStats::collect(&schema(), &s);
+        assert_eq!(st.columns[1].non_null, 1);
+        assert_eq!(st.columns[1].distinct, 1);
+        assert_eq!(st.columns[2].token_doc_freq.get("alpha"), Some(&1));
     }
 }

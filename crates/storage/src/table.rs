@@ -1,21 +1,25 @@
-//! Tables: rows + indexes + statistics.
+//! Tables: columnar row storage + indexes + statistics.
 
 use std::collections::HashMap;
 
+use crate::column::{ColumnStore, RowRef};
 use crate::error::StorageError;
 use crate::index::HashIndex;
 use crate::predicate::Predicate;
 use crate::row::{Row, RowId};
 use crate::schema::{ColumnId, TableSchema};
 use crate::stats::TableStats;
-use crate::value::Value;
+use crate::value::{Value, ValueType};
 
-/// A heap of rows with a schema, optional unique primary-key index,
-/// secondary hash indexes, and lazily refreshed statistics.
+/// A table: a schema over a [`ColumnStore`], an optional unique
+/// primary-key index, secondary hash indexes, and lazily refreshed
+/// statistics. Rows are stored column-major — inserts, scans, and
+/// clones do no per-row heap allocation; reads hand out borrowing
+/// [`RowRef`] views.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
-    rows: Vec<Row>,
+    store: ColumnStore,
     /// Unique index on the primary-key column, if the schema declares one.
     pk_index: Option<HashIndex>,
     /// Secondary (non-unique) indexes by column.
@@ -28,7 +32,8 @@ impl Table {
     /// Create an empty table.
     pub fn new(schema: TableSchema) -> Self {
         let pk_index = schema.primary_key.map(|_| HashIndex::new());
-        Table { schema, rows: Vec::new(), pk_index, secondary: HashMap::new(), stats: None }
+        let store = ColumnStore::new(schema.columns.iter().map(|c| c.ty));
+        Table { schema, store, pk_index, secondary: HashMap::new(), stats: None }
     }
 
     /// The table schema.
@@ -38,22 +43,28 @@ impl Table {
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.store.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.store.is_empty()
     }
 
-    /// All rows, in insertion order.
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// All rows, in insertion order, as borrowing views.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = RowRef<'_>> + Clone {
+        self.store.iter()
     }
 
     /// Row by id.
-    pub fn row(&self, id: RowId) -> &Row {
-        &self.rows[id as usize]
+    pub fn row(&self, id: RowId) -> RowRef<'_> {
+        self.store.row(id)
+    }
+
+    /// The columnar storage behind this table (read-only; the
+    /// conformance suite and the benches audit it directly).
+    pub fn store(&self) -> &ColumnStore {
+        &self.store
     }
 
     /// Insert a row, maintaining indexes. Rejects arity mismatches, type
@@ -79,7 +90,7 @@ impl Table {
                 }
             }
         }
-        let id = self.rows.len() as RowId;
+        let id = self.store.len() as RowId;
         if let (Some(pk_col), Some(pk_index)) = (self.schema.primary_key, self.pk_index.as_mut()) {
             let key = row.get(pk_col);
             if !pk_index.probe(key).is_empty() {
@@ -93,20 +104,59 @@ impl Table {
         for (&col, idx) in self.secondary.iter_mut() {
             idx.insert(row.get(col).clone(), id);
         }
-        self.rows.push(row);
+        self.store.push_row(&row);
         self.stats = None;
         Ok(id)
     }
 
-    /// Pre-size the row heap for `n` additional rows (bulk loads).
-    pub fn reserve(&mut self, n: usize) {
-        self.rows.reserve(n);
+    /// Insert one all-integer row straight into the column buffers —
+    /// the zero-allocation fast lane for catalog materialization
+    /// (AllTops/LeftTops/ExcpTops rows are all-Int). Equivalent to
+    /// `insert(row![..])` on an all-Int schema, without building the
+    /// owned row.
+    pub fn insert_ints(&mut self, vals: &[i64]) -> Result<RowId, StorageError> {
+        if vals.len() != self.schema.arity() {
+            return Err(StorageError::SchemaMismatch {
+                table: self.schema.name.clone(),
+                detail: format!("arity {} != {}", vals.len(), self.schema.arity()),
+            });
+        }
+        for c in 0..vals.len() {
+            if self.schema.column_type(c) != ValueType::Int {
+                return Err(StorageError::SchemaMismatch {
+                    table: self.schema.name.clone(),
+                    detail: format!("column {c} expects {:?}, got Int", self.schema.column_type(c)),
+                });
+            }
+        }
+        let id = self.store.len() as RowId;
+        if let (Some(pk_col), Some(pk_index)) = (self.schema.primary_key, self.pk_index.as_mut()) {
+            let key = Value::Int(vals[pk_col]);
+            if !pk_index.probe(&key).is_empty() {
+                return Err(StorageError::DuplicateKey {
+                    table: self.schema.name.clone(),
+                    key: key.to_string(),
+                });
+            }
+            pk_index.insert(key, id);
+        }
+        for (&col, idx) in self.secondary.iter_mut() {
+            idx.insert(Value::Int(vals[col]), id);
+        }
+        self.store.push_ints(vals);
+        self.stats = None;
+        Ok(id)
     }
 
-    /// A copy of this table under a different name: rows, indexes, and
-    /// statistics are cloned as-is instead of being re-validated,
-    /// re-hashed, and re-collected row by row. This is how the catalog
-    /// materializes LeftTops from AllTops.
+    /// Pre-size the column buffers for `n` additional rows (bulk loads).
+    pub fn reserve(&mut self, n: usize) {
+        self.store.reserve(n);
+    }
+
+    /// A copy of this table under a different name: column buffers,
+    /// indexes, and statistics are cloned as-is instead of being
+    /// re-validated, re-hashed, and re-collected row by row. This is how
+    /// the catalog materializes LeftTops from AllTops.
     pub fn clone_renamed(&self, name: impl Into<String>) -> Table {
         let mut t = self.clone();
         t.schema.name = name.into();
@@ -116,8 +166,8 @@ impl Table {
     /// Build (or rebuild) a secondary hash index on `col`.
     pub fn create_index(&mut self, col: ColumnId) {
         let mut idx = HashIndex::new();
-        for (i, row) in self.rows.iter().enumerate() {
-            idx.insert(row.get(col).clone(), i as RowId);
+        for (i, row) in self.store.iter().enumerate() {
+            idx.insert(row.get(col), i as RowId);
         }
         self.secondary.insert(col, idx);
     }
@@ -129,38 +179,46 @@ impl Table {
     /// [`Table::create_index`]; this is the bulk path catalog
     /// finalization uses on its large append-only tables.
     pub fn create_index_bulk(&mut self, col: ColumnId) {
-        let rows = &self.rows;
-        // Declared-Int columns (every catalog table column is one)
-        // extract to a flat (key, id) run first, so the sort compares
-        // plain integers instead of chasing into rows. A Null slipping
-        // into an Int column (nulls pass insert's type check) falls
-        // back to the generic path.
-        let mut keyed: Vec<(i64, RowId)> = Vec::new();
-        let all_int = self.schema.column_type(col) == crate::value::ValueType::Int && {
-            keyed.reserve_exact(rows.len());
-            rows.iter().enumerate().all(|(i, r)| match r.get(col) {
-                Value::Int(v) => {
-                    keyed.push((*v, i as RowId));
-                    true
-                }
-                _ => false,
-            })
-        };
-        let idx = if all_int {
+        // Null-free Int columns (every catalog table column is one) sort
+        // the raw `i64` buffer as flat `(key, id)` pairs — no `Value`
+        // construction, no pointer chasing. Anything else (Str columns,
+        // or an Int column a null slipped into) takes the generic path.
+        let idx = if let Some(vals) = self.store.ints(col) {
+            let mut keyed: Vec<(i64, RowId)> = Vec::with_capacity(vals.len());
+            keyed.extend(vals.iter().enumerate().map(|(i, &v)| (v, i as RowId)));
             keyed.sort_unstable();
             HashIndex::from_sorted_int_postings(&keyed)
         } else {
-            let mut ids: Vec<RowId> = (0..rows.len() as RowId).collect();
-            ids.sort_unstable_by(|&a, &b| {
-                rows[a as usize].get(col).cmp(rows[b as usize].get(col)).then(a.cmp(&b))
-            });
-            HashIndex::from_sorted_postings(&ids, |id| rows[id as usize].get(col))
+            let store = &self.store;
+            let mut ids: Vec<RowId> = (0..store.len() as RowId).collect();
+            ids.sort_unstable_by(|&a, &b| store.cmp_cells(col, a, b).then(a.cmp(&b)));
+            // Run boundaries are detected with borrowed cell compares;
+            // only one owned key materializes per distinct value, and
+            // the map is pre-sized so it never rehash-grows mid-build.
+            let distinct = ids
+                .windows(2)
+                .filter(|w| store.cmp_cells(col, w[0], w[1]) != std::cmp::Ordering::Equal)
+                .count()
+                + usize::from(!ids.is_empty());
+            let mut idx = HashIndex::with_capacity(distinct);
+            let mut i = 0;
+            while i < ids.len() {
+                let mut j = i + 1;
+                while j < ids.len()
+                    && store.cmp_cells(col, ids[i], ids[j]) == std::cmp::Ordering::Equal
+                {
+                    j += 1;
+                }
+                idx.insert_run(store.value(col, ids[i]), &ids[i..j]);
+                i = j;
+            }
+            idx
         };
         self.secondary.insert(col, idx);
     }
 
-    /// Look up rows by primary key.
-    pub fn by_pk(&self, key: &Value) -> Option<&Row> {
+    /// Look up a row by primary key.
+    pub fn by_pk(&self, key: &Value) -> Option<RowRef<'_>> {
         let pk_index = self.pk_index.as_ref()?;
         pk_index.probe(key).first().map(|&id| self.row(id))
     }
@@ -183,12 +241,13 @@ impl Table {
         self.secondary.contains_key(&col) || self.schema.primary_key == Some(col)
     }
 
-    /// Sequential scan with a predicate; returns matching row ids.
+    /// Sequential scan with a predicate; returns matching row ids. Runs
+    /// over the column buffers with no per-row allocation.
     pub fn scan(&self, pred: &Predicate) -> Vec<RowId> {
-        self.rows
+        self.store
             .iter()
             .enumerate()
-            .filter(|(_, r)| pred.eval(r))
+            .filter(|(_, r)| pred.eval_ref(*r))
             .map(|(i, _)| i as RowId)
             .collect()
     }
@@ -196,7 +255,7 @@ impl Table {
     /// Refresh statistics (one pass). Idempotent until the next insert.
     pub fn analyze(&mut self) -> &TableStats {
         if self.stats.is_none() {
-            self.stats = Some(TableStats::collect(&self.schema, &self.rows));
+            self.stats = Some(TableStats::collect(&self.schema, &self.store));
         }
         self.stats.as_ref().expect("just set")
     }
@@ -206,25 +265,36 @@ impl Table {
         self.stats.as_ref()
     }
 
-    /// Approximate heap footprint of rows + indexes, in bytes. This is the
-    /// quantity reported in the Table 1 space-requirement reproduction.
+    /// Approximate heap footprint of the column buffers + indexes, in
+    /// bytes. This is the quantity reported in the Table 1
+    /// space-requirement reproduction; string payloads are counted once
+    /// per distinct string (the pool), not once per row.
     pub fn heap_size(&self) -> usize {
-        let rows: usize = self.rows.iter().map(Row::heap_size).sum();
         let pk = self.pk_index.as_ref().map(HashIndex::heap_size).unwrap_or(0);
         let sec: usize = self.secondary.values().map(HashIndex::heap_size).sum();
-        rows + pk + sec
+        self.store.heap_size() + pk + sec
     }
 
-    /// Sort rows by a column (ascending) and rebuild all indexes.
+    /// Sort rows by a column (ascending, stable) and rebuild all indexes.
     ///
     /// Catalog tables (LeftTops) are stored grouped by topology id so DGJ
-    /// group scans are contiguous; this is the clustering step.
+    /// group scans are contiguous; this is the clustering step. The sort
+    /// permutes the typed column buffers directly — a flat `(i64, id)`
+    /// sort when the column is null-free Int — instead of shuffling
+    /// owned rows.
     pub fn sort_by_column(&mut self, col: ColumnId) {
-        self.rows.sort_by(|a, b| a.get(col).cmp(b.get(col)));
+        let mut perm: Vec<RowId> = (0..self.store.len() as RowId).collect();
+        if let Some(vals) = self.store.ints(col) {
+            perm.sort_unstable_by_key(|&i| (vals[i as usize], i));
+        } else {
+            let store = &self.store;
+            perm.sort_unstable_by(|&a, &b| store.cmp_cells(col, a, b).then(a.cmp(&b)));
+        }
+        self.store.apply_permutation(&perm);
         if let Some(pk_col) = self.schema.primary_key {
             let mut idx = HashIndex::new();
-            for (i, row) in self.rows.iter().enumerate() {
-                idx.insert(row.get(pk_col).clone(), i as RowId);
+            for (i, row) in self.store.iter().enumerate() {
+                idx.insert(row.get(pk_col), i as RowId);
             }
             self.pk_index = Some(idx);
         }
@@ -260,7 +330,7 @@ mod tests {
     fn insert_and_pk_lookup() {
         let t = dna_table();
         assert_eq!(t.len(), 3);
-        assert_eq!(t.by_pk(&Value::Int(215)).unwrap().get(1).as_str(), "mRNA");
+        assert_eq!(t.by_pk(&Value::Int(215)).unwrap().as_str(1), "mRNA");
         assert!(t.by_pk(&Value::Int(999)).is_none());
     }
 
@@ -280,6 +350,43 @@ mod tests {
             t.insert(row!["notanint", "mRNA"]).unwrap_err(),
             StorageError::SchemaMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn insert_ints_matches_generic_insert() {
+        let schema = TableSchema::new(
+            "Rel",
+            vec![ColumnDef::new("A", ValueType::Int), ColumnDef::new("B", ValueType::Int)],
+            Some(0),
+        );
+        let mut a = Table::new(schema.clone());
+        let mut b = Table::new(schema);
+        for (x, y) in [(1i64, 10i64), (2, 20), (3, 30)] {
+            a.insert(row![x, y]).unwrap();
+            b.insert_ints(&[x, y]).unwrap();
+        }
+        assert!(a.rows().eq(b.rows()));
+        assert_eq!(a.heap_size(), b.heap_size());
+        // Same validation too: duplicate pk and wrong arity rejected.
+        assert!(matches!(b.insert_ints(&[1, 99]).unwrap_err(), StorageError::DuplicateKey { .. }));
+        assert!(matches!(b.insert_ints(&[4]).unwrap_err(), StorageError::SchemaMismatch { .. }));
+        // And a Str column rejects the fast lane outright.
+        let mut t = dna_table();
+        assert!(matches!(t.insert_ints(&[1, 2]).unwrap_err(), StorageError::SchemaMismatch { .. }));
+    }
+
+    #[test]
+    fn insert_ints_maintains_indexes() {
+        let schema = TableSchema::new(
+            "Rel",
+            vec![ColumnDef::new("A", ValueType::Int), ColumnDef::new("B", ValueType::Int)],
+            None,
+        );
+        let mut t = Table::new(schema);
+        t.create_index(0);
+        t.insert_ints(&[7, 1]).unwrap();
+        t.insert_ints(&[7, 2]).unwrap();
+        assert_eq!(t.index_probe(0, &Value::Int(7)), &[0, 1]);
     }
 
     #[test]
@@ -318,8 +425,8 @@ mod tests {
         let mut t = dna_table();
         t.create_index(1);
         t.sort_by_column(1); // genomic, mRNA, mRNA
-        assert_eq!(t.row(0).get(1).as_str(), "genomic");
-        assert_eq!(t.by_pk(&Value::Int(742)).unwrap().get(0).as_int(), 742);
+        assert_eq!(t.row(0).as_str(1), "genomic");
+        assert_eq!(t.by_pk(&Value::Int(742)).unwrap().as_int(0), 742);
         assert_eq!(t.index_probe(1, &Value::str("mRNA")).len(), 2);
     }
 
@@ -387,5 +494,29 @@ mod tests {
         let before = t.heap_size();
         t.insert(row![950i64, "a-longer-type-string"]).unwrap();
         assert!(t.heap_size() > before);
+    }
+
+    #[test]
+    fn heap_size_counts_pooled_strings_once() {
+        let mut t = dna_table();
+        let before = t.heap_size();
+        t.insert(row![950i64, "mRNA"]).unwrap(); // already pooled
+        let dup_growth = t.heap_size() - before;
+        let before = t.heap_size();
+        t.insert(row![951i64, "never-seen-before"]).unwrap();
+        let fresh_growth = t.heap_size() - before;
+        assert!(
+            fresh_growth > dup_growth,
+            "fresh string must cost its payload: {fresh_growth} vs {dup_growth}"
+        );
+    }
+
+    #[test]
+    fn clone_renamed_shares_layout() {
+        let t = dna_table();
+        let c = t.clone_renamed("Copy");
+        assert_eq!(c.schema().name, "Copy");
+        assert!(t.rows().eq(c.rows()));
+        assert_eq!(t.heap_size(), c.heap_size());
     }
 }

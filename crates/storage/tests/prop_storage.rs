@@ -92,18 +92,19 @@ proptest! {
     fn sort_by_column_preserves_content(values in proptest::collection::vec((0i64..100, 0u8..8), 1..40)) {
         let mut t = table_from(&values);
         let before: Vec<i64> = {
-            let mut ids: Vec<i64> = t.rows().iter().map(|r| r.get(0).as_int()).collect();
+            let mut ids: Vec<i64> = t.rows().map(|r| r.as_int(0)).collect();
             ids.sort_unstable();
             ids
         };
         t.sort_by_column(1);
-        let mut after: Vec<i64> = t.rows().iter().map(|r| r.get(0).as_int()).collect();
+        let mut after: Vec<i64> = t.rows().map(|r| r.as_int(0)).collect();
         after.sort_unstable();
         prop_assert_eq!(before, after);
         // PK lookups survive the re-cluster.
-        for r in t.rows() {
-            let id = r.get(0).clone();
-            prop_assert_eq!(t.by_pk(&id).expect("present").get(0), &id);
+        let ids: Vec<i64> = t.rows().map(|r| r.as_int(0)).collect();
+        for id in ids {
+            let key = Value::Int(id);
+            prop_assert_eq!(t.by_pk(&key).expect("present").get(0), key);
         }
     }
 }

@@ -81,5 +81,5 @@ pub mod prelude {
         compute_catalog, prune_catalog, score_catalog, Catalog, ComputeOptions, EsPair,
         EvalOutcome, Method, PruneOptions, QueryContext, RankScheme, TopologyQuery,
     };
-    pub use ts_storage::Predicate;
+    pub use ts_storage::{Predicate, RowRef};
 }

@@ -46,12 +46,8 @@ fn lefttops_is_alltops_minus_pruned() {
         let pruned: std::collections::HashSet<u32> =
             cat.metas().iter().filter(|m| m.pruned).map(|m| m.id).collect();
         assert!(!pruned.is_empty(), "seed {seed}: expect something pruned at threshold 10");
-        let expected: usize = cat
-            .alltops
-            .rows()
-            .iter()
-            .filter(|r| !pruned.contains(&(r.get(2).as_int() as u32)))
-            .count();
+        let expected: usize =
+            cat.alltops.rows().filter(|r| !pruned.contains(&(r.as_int(2) as u32))).count();
         assert_eq!(cat.lefttops.len(), expected, "seed {seed}");
         for r in cat.lefttops.rows() {
             assert!(!pruned.contains(&(r.get(2).as_int() as u32)));
@@ -160,12 +156,8 @@ fn csr_interned_ids_are_in_range() {
 fn lefttops_rows_are_a_subset_of_alltops_rows() {
     for seed in [1u64, 7] {
         let (_b, _g, _s, cat) = build(seed);
-        let all: std::collections::HashSet<(i64, i64, i64)> = cat
-            .alltops
-            .rows()
-            .iter()
-            .map(|r| (r.get(0).as_int(), r.get(1).as_int(), r.get(2).as_int()))
-            .collect();
+        let all: std::collections::HashSet<(i64, i64, i64)> =
+            cat.alltops.rows().map(|r| (r.as_int(0), r.as_int(1), r.as_int(2))).collect();
         assert!(cat.lefttops.len() <= cat.alltops.len());
         for r in cat.lefttops.rows() {
             let row = (r.get(0).as_int(), r.get(1).as_int(), r.get(2).as_int());

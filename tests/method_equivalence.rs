@@ -44,6 +44,33 @@ impl Rng {
     }
 }
 
+/// FNV-1a accumulator over the full result matrix. The nine methods
+/// agreeing with *each other* still leaves room for all nine to drift
+/// together (say, a storage bug that loses the same rows from every
+/// plan); pinning the matrix digest catches collective drift against
+/// the expectations checked in before and after the columnar-store
+/// rewrite.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// The pinned digest of the 60-query × nine-method × three-rank-scheme
+/// matrix below (every method's `(tid, score)` sequence, in emission
+/// order). Must be byte-for-byte stable across storage rewrites; update
+/// it only when the *workload or scoring* changes intentionally, never
+/// to paper over a storage-layer diff.
+const MATRIX_DIGEST: u64 = 0x3e9a_bf87_2299_f467;
+
 struct Harness {
     biozon: ts_biozon::Biozon,
     graph: ts_graph::DataGraph,
@@ -153,6 +180,7 @@ fn nine_methods_agree_on_randomized_workloads() {
     let mut rng = Rng(0xB10_0B0E);
     let mut queries = 0usize;
     let mut nonempty = 0usize;
+    let mut digest = Digest::new();
     for qi in 0..20 {
         let (es1, es2) = espairs[rng.below(espairs.len())];
         let con1 = random_predicate(es1, ids, &mut rng);
@@ -178,8 +206,14 @@ fn nine_methods_agree_on_randomized_workloads() {
                 nonempty += 1;
             }
 
-            for m in Method::all() {
+            for (mi, m) in Method::all().into_iter().enumerate() {
                 let got = m.eval(&ctx, &q);
+                digest.u64(mi as u64);
+                digest.u64(got.topologies.len() as u64);
+                for &(tid, score) in &got.topologies {
+                    digest.u64(tid as u64);
+                    digest.u64(score.to_bits());
+                }
                 if m.is_topk() {
                     assert_topk_prefix(
                         &format!("query {qi} ({es1}-{es2}, k={k}, {scheme}, {})", m.name()),
@@ -202,6 +236,15 @@ fn nine_methods_agree_on_randomized_workloads() {
     assert!(
         nonempty >= queries / 4,
         "too many degenerate (empty-result) queries ({nonempty}/{queries} non-empty) — workload lost its teeth"
+    );
+    // The post-refactor guard: the whole matrix, byte for byte. A catalog
+    // built on columnar tables must reproduce the expectations recorded
+    // on the row-major store (run with `-- --nocapture` to read the
+    // computed value when an intentional workload change re-pins it).
+    println!("method-equivalence matrix digest: {:#018x}", digest.0);
+    assert_eq!(
+        digest.0, MATRIX_DIGEST,
+        "the 60-query x nine-method x three-scheme matrix diverged from the checked expectations"
     );
 }
 

@@ -32,9 +32,12 @@ fn assert_catalogs_identical(c1: &Catalog, c2: &Catalog) {
     assert_eq!(c1.pair_offsets(), c2.pair_offsets());
     for (t1, t2) in [(&c1.alltops, &c2.alltops), (&c1.lefttops, &c2.lefttops)] {
         assert_eq!(t1.len(), t2.len());
-        for (r1, r2) in t1.rows().iter().zip(t2.rows()) {
+        for (r1, r2) in t1.rows().zip(t2.rows()) {
             assert_eq!(r1, r2);
         }
+        // The columnar layout itself must agree, not just the logical
+        // cells: identical byte footprint on both schedules.
+        assert_eq!(t1.heap_size(), t2.heap_size());
     }
 }
 

@@ -1,0 +1,403 @@
+//! Storage-conformance differential suite.
+//!
+//! `ts-storage` replaced the row-major `Vec<Row>` table heap with a
+//! columnar [`ColumnStore`] (typed buffers + string pool + null
+//! bitmaps) read through borrowing [`RowRef`] views. This suite holds
+//! the new layout to the old semantics the hard way: every property
+//! drives a random schema and random row batch through **both** a
+//! naive `Vec<Row>` reference model (the old storage, re-implemented
+//! here in its simplest possible form) and the real [`Table`], then
+//! compares insert outcomes, scans, filters, projections, index
+//! lookups, and sorts **cell for cell**. A columnar bug — a null bit
+//! off by one, a pool id aliased, a permutation missing a column —
+//! shows up as a model divergence on a concrete batch, independent of
+//! anything the catalog or the query methods do on top.
+//!
+//! Run with `PROPTEST_CASES=512` in CI's release pass for real
+//! coverage; the checked-in counts are sized for debug `cargo test`.
+
+use proptest::prelude::*;
+use ts_storage::{
+    ColumnDef, Predicate, Row, RowId, StorageError, Table, TableSchema, Value, ValueType,
+};
+
+/// String vocabulary: repeats force pool sharing, multi-token entries
+/// exercise `Contains`, and distinct prefixes exercise ordering.
+const VOCAB: [&str; 6] = ["mRNA", "EST", "alpha beta", "beta gamma delta", "x", "alpha"];
+
+/// The reference model: the pre-columnar table, reduced to its
+/// semantics — an owned row heap plus the same validation rules.
+struct RowModel {
+    schema: TableSchema,
+    rows: Vec<Row>,
+}
+
+/// Insert outcome kinds, comparable across model and table.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Outcome {
+    Ok,
+    SchemaMismatch,
+    DuplicateKey,
+}
+
+fn outcome_of(r: &Result<RowId, StorageError>) -> Outcome {
+    match r {
+        Ok(_) => Outcome::Ok,
+        Err(StorageError::SchemaMismatch { .. }) => Outcome::SchemaMismatch,
+        Err(StorageError::DuplicateKey { .. }) => Outcome::DuplicateKey,
+        Err(e) => panic!("unexpected insert error {e:?}"),
+    }
+}
+
+impl RowModel {
+    fn new(schema: TableSchema) -> Self {
+        RowModel { schema, rows: Vec::new() }
+    }
+
+    fn insert(&mut self, row: Row) -> Outcome {
+        if row.arity() != self.schema.arity() {
+            return Outcome::SchemaMismatch;
+        }
+        for (c, v) in row.values().enumerate() {
+            if let Some(ty) = v.value_type() {
+                if ty != self.schema.column_type(c) {
+                    return Outcome::SchemaMismatch;
+                }
+            }
+        }
+        if let Some(pk) = self.schema.primary_key {
+            if self.rows.iter().any(|r| r.get(pk) == row.get(pk)) {
+                return Outcome::DuplicateKey;
+            }
+        }
+        self.rows.push(row);
+        Outcome::Ok
+    }
+
+    /// Matching row ids, in order — what both `Table::scan` and
+    /// `Table::index_probe` must reproduce.
+    fn matching(&self, pred: &Predicate) -> Vec<RowId> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| pred.eval(r))
+            .map(|(i, _)| i as RowId)
+            .collect()
+    }
+
+    /// Stable ascending sort by one column, mirroring
+    /// `Table::sort_by_column`.
+    fn sort_by_column(&mut self, col: usize) {
+        self.rows.sort_by(|a, b| a.get(col).cmp(b.get(col)));
+    }
+}
+
+/// A generated cell seed: `(kind, int value, vocab index)`. Kind 0 is
+/// NULL; otherwise the column type picks which payload applies.
+type CellSeed = (u8, i64, usize);
+
+fn cell(ty: ValueType, seed: CellSeed) -> Value {
+    let (kind, iv, si) = seed;
+    if kind == 0 {
+        return Value::Null;
+    }
+    match ty {
+        ValueType::Int => Value::Int(iv),
+        ValueType::Str => Value::str(VOCAB[si % VOCAB.len()]),
+    }
+}
+
+/// Build schema + batch from raw seeds. `pk_seed == 0` puts a primary
+/// key on column 0 when it is an Int column, so duplicate-key rejection
+/// is exercised (int values collide by construction).
+fn build_inputs(
+    type_seeds: &[u8],
+    pk_seed: u8,
+    row_seeds: &[Vec<CellSeed>],
+) -> (TableSchema, Vec<Row>) {
+    let types: Vec<ValueType> =
+        type_seeds.iter().map(|&t| if t == 0 { ValueType::Int } else { ValueType::Str }).collect();
+    let pk = (pk_seed == 0 && types[0] == ValueType::Int).then_some(0);
+    let schema = TableSchema::new(
+        "C",
+        types.iter().enumerate().map(|(i, &ty)| ColumnDef::new(format!("c{i}"), ty)).collect(),
+        pk,
+    );
+    let rows: Vec<Row> = row_seeds
+        .iter()
+        .map(|seeds| {
+            Row::new(types.iter().zip(seeds).map(|(&ty, &s)| cell(ty, s)).collect::<Vec<_>>())
+        })
+        .collect();
+    (schema, rows)
+}
+
+/// Predicates worth checking against a schema: per-column equalities
+/// (hits, misses, NULL), containment (string and — vacuously — int
+/// columns), and boolean combinators over the first two.
+fn predicates(schema: &TableSchema) -> Vec<Predicate> {
+    let mut out = Vec::new();
+    for c in 0..schema.arity() {
+        match schema.column_type(c) {
+            ValueType::Int => {
+                for k in [-3i64, 0, 7] {
+                    out.push(Predicate::eq(c, k));
+                }
+            }
+            ValueType::Str => {
+                out.push(Predicate::eq(c, VOCAB[0]));
+                out.push(Predicate::eq(c, VOCAB[2]));
+                out.push(Predicate::eq(c, "absent"));
+            }
+        }
+        out.push(Predicate::Eq(c, Value::Null));
+        out.push(Predicate::contains(c, "alpha"));
+        out.push(Predicate::contains(c, "beta"));
+    }
+    if out.len() >= 2 {
+        out.push(out[0].clone().and(out[1].clone()));
+        out.push(out[0].clone().or(out[1].clone()));
+        out.push(Predicate::Not(Box::new(out[0].clone())));
+    }
+    out
+}
+
+/// Every cell of `table` equals the model, through every `RowRef`
+/// accessor (owned value, typed accessors, null flag).
+fn assert_cells_match(table: &Table, model: &RowModel, label: &str) {
+    assert_eq!(table.len(), model.rows.len(), "{label}: row count");
+    for (i, expected) in model.rows.iter().enumerate() {
+        let got = table.row(i as RowId);
+        for c in 0..model.schema.arity() {
+            let want = expected.get(c);
+            assert_eq!(&got.get(c), want, "{label}: cell ({i}, {c})");
+            assert_eq!(got.try_int(c), want.try_int(), "{label}: try_int ({i}, {c})");
+            assert_eq!(got.try_str(c), want.try_str(), "{label}: try_str ({i}, {c})");
+            assert_eq!(got.is_null(c), want.is_null(), "{label}: is_null ({i}, {c})");
+        }
+        // And the materialization path used at operator boundaries.
+        assert_eq!(&got.to_row(), expected, "{label}: to_row({i})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Insert conformance: same outcomes (accept / schema error /
+    /// duplicate key), same surviving rows cell-for-cell, and a heap
+    /// size that grows with every accepted row.
+    #[test]
+    fn insert_outcomes_and_cells_match(
+        type_seeds in proptest::collection::vec(0u8..2, 1..5),
+        pk_seed in 0u8..3,
+        row_seeds in proptest::collection::vec(
+            proptest::collection::vec((0u8..8, -5i64..12, 0usize..6), 4), 0..40),
+    ) {
+        let (schema, rows) = build_inputs(&type_seeds, pk_seed, &row_seeds);
+        let mut table = Table::new(schema.clone());
+        let mut model = RowModel::new(schema.clone());
+        let mut prev_size = table.heap_size();
+        for row in rows {
+            let got = outcome_of(&table.insert(row.clone()));
+            let want = model.insert(row);
+            prop_assert_eq!(got, want, "insert outcome");
+            let size = table.heap_size();
+            if got == Outcome::Ok {
+                prop_assert!(size > prev_size, "heap_size must grow: {} <= {}", size, prev_size);
+            } else {
+                prop_assert_eq!(size, prev_size, "rejected insert must not change heap_size");
+            }
+            prev_size = size;
+        }
+        assert_cells_match(&table, &model, "after inserts");
+        // Arity mismatches rejected identically too.
+        let short = Row::new(vec![Value::Null]);
+        if schema.arity() > 1 {
+            prop_assert_eq!(outcome_of(&table.insert(short.clone())), model.insert(short));
+        }
+    }
+
+    /// Scan/filter conformance: `Table::scan` over the column buffers
+    /// returns exactly the model's matching ids for every predicate
+    /// shape, and `eval_ref` agrees with `eval` row by row.
+    #[test]
+    fn scans_and_filters_match(
+        type_seeds in proptest::collection::vec(0u8..2, 1..5),
+        row_seeds in proptest::collection::vec(
+            proptest::collection::vec((0u8..8, -5i64..12, 0usize..6), 4), 0..40),
+    ) {
+        let (schema, rows) = build_inputs(&type_seeds, 1, &row_seeds);
+        let mut table = Table::new(schema.clone());
+        let mut model = RowModel::new(schema.clone());
+        for row in rows {
+            table.insert(row.clone()).expect("no pk, types match");
+            model.insert(row);
+        }
+        for pred in predicates(&schema) {
+            prop_assert_eq!(table.scan(&pred), model.matching(&pred), "scan {:?}", &pred);
+            for (i, row) in model.rows.iter().enumerate() {
+                prop_assert_eq!(
+                    pred.eval_ref(table.row(i as RowId)),
+                    pred.eval(row),
+                    "eval_ref vs eval at row {} for {:?}", i, &pred
+                );
+            }
+        }
+    }
+
+    /// Projection conformance: `RowRef::project_into` (scratch reuse)
+    /// and `Row::project_into` equal the model's `Row::project` for
+    /// arbitrary column subsets, including repeats and reorders.
+    #[test]
+    fn projections_match(
+        type_seeds in proptest::collection::vec(0u8..2, 2..5),
+        row_seeds in proptest::collection::vec(
+            proptest::collection::vec((0u8..8, -5i64..12, 0usize..6), 4), 1..25),
+        cols_seed in proptest::collection::vec(0usize..4, 1..6),
+    ) {
+        let (schema, rows) = build_inputs(&type_seeds, 1, &row_seeds);
+        let cols: Vec<usize> = cols_seed.iter().map(|&c| c % schema.arity()).collect();
+        let mut table = Table::new(schema.clone());
+        let mut model = RowModel::new(schema);
+        for row in rows {
+            table.insert(row.clone()).expect("no pk, types match");
+            model.insert(row);
+        }
+        let mut scratch = Row::new(Vec::new());
+        let mut owned_scratch = Row::new(Vec::new());
+        for (i, row) in model.rows.iter().enumerate() {
+            let want = row.project(&cols);
+            table.row(i as RowId).project_into(&cols, &mut scratch);
+            prop_assert_eq!(&scratch, &want, "RowRef::project_into row {}", i);
+            row.project_into(&cols, &mut owned_scratch);
+            prop_assert_eq!(&owned_scratch, &want, "Row::project_into row {}", i);
+        }
+    }
+
+    /// Index conformance: bulk and row-by-row index builds both return
+    /// the model's matching ids for present keys, absent keys, and
+    /// NULL — on Int columns (flat fast path) and Str columns (pool
+    /// path) alike.
+    #[test]
+    fn index_lookups_match(
+        type_seeds in proptest::collection::vec(0u8..2, 1..5),
+        row_seeds in proptest::collection::vec(
+            proptest::collection::vec((0u8..8, -5i64..12, 0usize..6), 4), 0..40),
+    ) {
+        let (schema, rows) = build_inputs(&type_seeds, 1, &row_seeds);
+        let mut bulk = Table::new(schema.clone());
+        let mut model = RowModel::new(schema.clone());
+        for row in rows {
+            bulk.insert(row.clone()).expect("no pk, types match");
+            model.insert(row);
+        }
+        let mut incremental = bulk.clone();
+        for c in 0..schema.arity() {
+            bulk.create_index_bulk(c);
+            incremental.create_index(c);
+            let mut keys: Vec<Value> = match schema.column_type(c) {
+                ValueType::Int => (-5i64..12).map(Value::Int).collect(),
+                ValueType::Str => VOCAB.iter().map(Value::str).collect(),
+            };
+            keys.push(Value::Null);
+            keys.push(Value::Int(999));
+            keys.push(Value::str("absent"));
+            for key in keys {
+                let want = model.matching(&Predicate::Eq(c, key.clone()));
+                prop_assert_eq!(
+                    bulk.index_probe(c, &key), &want[..], "bulk col {} key {:?}", c, &key
+                );
+                prop_assert_eq!(
+                    incremental.index_probe(c, &key), &want[..],
+                    "incremental col {} key {:?}", c, &key
+                );
+            }
+        }
+    }
+
+    /// Sort conformance: `sort_by_column` (columnar permutation, flat
+    /// Int fast path) equals the model's stable row sort, and the
+    /// rebuilt indexes still answer like the model afterwards.
+    #[test]
+    fn sorts_match(
+        type_seeds in proptest::collection::vec(0u8..2, 1..5),
+        row_seeds in proptest::collection::vec(
+            proptest::collection::vec((0u8..8, -5i64..12, 0usize..6), 4), 0..40),
+        sort_col_seed in 0usize..4,
+    ) {
+        let (schema, rows) = build_inputs(&type_seeds, 1, &row_seeds);
+        let sort_col = sort_col_seed % schema.arity();
+        let mut table = Table::new(schema.clone());
+        let mut model = RowModel::new(schema.clone());
+        for row in rows {
+            table.insert(row.clone()).expect("no pk, types match");
+            model.insert(row);
+        }
+        let index_col = (sort_col + 1) % schema.arity();
+        table.create_index_bulk(index_col);
+        table.sort_by_column(sort_col);
+        model.sort_by_column(sort_col);
+        assert_cells_match(&table, &model, "after sort");
+        // The secondary index was rebuilt over the permuted ids.
+        let probe_keys: Vec<Value> = match schema.column_type(index_col) {
+            ValueType::Int => vec![Value::Int(0), Value::Int(7), Value::Null],
+            ValueType::Str => vec![Value::str(VOCAB[0]), Value::str(VOCAB[3]), Value::Null],
+        };
+        for key in probe_keys {
+            let want = model.matching(&Predicate::Eq(index_col, key.clone()));
+            prop_assert_eq!(
+                table.index_probe(index_col, &key), &want[..],
+                "post-sort probe col {} key {:?}", index_col, &key
+            );
+        }
+    }
+
+    /// The all-Int fast lane is indistinguishable from generic inserts:
+    /// same outcomes (including duplicate-pk rejection), same cells,
+    /// same bytes.
+    #[test]
+    fn insert_ints_matches_insert(
+        pk_seed in 0u8..2,
+        rows in proptest::collection::vec((-4i64..8, -4i64..8, -4i64..8), 0..40),
+    ) {
+        let schema = TableSchema::new(
+            "I",
+            vec![
+                ColumnDef::new("a", ValueType::Int),
+                ColumnDef::new("b", ValueType::Int),
+                ColumnDef::new("c", ValueType::Int),
+            ],
+            (pk_seed == 0).then_some(0),
+        );
+        let mut generic = Table::new(schema.clone());
+        let mut fast = Table::new(schema);
+        for (a, b, c) in rows {
+            let vals = [a, b, c];
+            let via_generic =
+                outcome_of(&generic.insert(Row::new(vals.iter().map(|&v| Value::Int(v)).collect())));
+            let via_fast = outcome_of(&fast.insert_ints(&vals));
+            prop_assert_eq!(via_generic, via_fast, "outcome for {:?}", vals);
+        }
+        prop_assert!(generic.rows().eq(fast.rows()), "cell content diverged");
+        prop_assert_eq!(generic.heap_size(), fast.heap_size());
+    }
+
+    /// `heap_size` is strictly monotone in row count whatever the
+    /// batch looks like — duplicate strings, nulls, fresh strings.
+    #[test]
+    fn heap_size_monotone_and_bounded(
+        type_seeds in proptest::collection::vec(0u8..2, 1..5),
+        row_seeds in proptest::collection::vec(
+            proptest::collection::vec((0u8..8, -5i64..12, 0usize..6), 4), 1..60),
+    ) {
+        let (schema, rows) = build_inputs(&type_seeds, 1, &row_seeds);
+        let mut table = Table::new(schema);
+        let mut prev = table.heap_size();
+        for row in rows {
+            table.insert(row).expect("no pk, types match");
+            let now = table.heap_size();
+            prop_assert!(now > prev, "heap_size fell or stalled: {} -> {}", prev, now);
+            prev = now;
+        }
+    }
+}
