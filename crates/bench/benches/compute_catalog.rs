@@ -168,7 +168,7 @@ fn run_method(
     let ns = median(samples);
     let method = if parallel { "parallel" } else { "serial" };
     println!(
-        "compute_catalog/{}/{:<8} {:>12.3} ms/iter  ({} pairs, {} paths, {} topologies, memo hit rate {:.3}, catalog {:.1} KiB, pair store {:.1} KiB, AllTops {:.1} KiB in {} allocs)",
+        "compute_catalog/{}/{:<8} {:>12.3} ms/iter  ({} pairs, {} paths, {} topologies, memo hit rate {:.3}, {} sig hashes, catalog {:.1} KiB, pair store {:.1} KiB, AllTops {:.1} KiB in {} allocs)",
         spec.name,
         method,
         ns as f64 / 1e6,
@@ -176,6 +176,7 @@ fn run_method(
         stats.paths,
         stats.topologies,
         stats.canon_hit_rate(),
+        stats.sig_hashes,
         catalog_bytes as f64 / 1024.0,
         pair_bytes as f64 / 1024.0,
         alltops_bytes as f64 / 1024.0,
@@ -212,7 +213,7 @@ fn emit_json(rows: &[Row]) {
     );
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"size\": \"{}\", \"method\": \"{}\", \"scale\": {}, \"entities\": {}, \"edges\": {}, \"pairs\": {}, \"paths\": {}, \"topologies\": {}, \"ns_per_iter\": {}, \"iters\": {}, \"canon_hits\": {}, \"canon_misses\": {}, \"canon_hit_rate\": {:.4}, \"catalog_bytes\": {}, \"pair_bytes\": {}, \"alltops_bytes\": {}, \"alltops_materialize_allocs\": {}}}{}\n",
+            "    {{\"size\": \"{}\", \"method\": \"{}\", \"scale\": {}, \"entities\": {}, \"edges\": {}, \"pairs\": {}, \"paths\": {}, \"topologies\": {}, \"ns_per_iter\": {}, \"iters\": {}, \"canon_hits\": {}, \"canon_misses\": {}, \"canon_hit_rate\": {:.4}, \"sig_hash_once\": {}, \"catalog_bytes\": {}, \"pair_bytes\": {}, \"alltops_bytes\": {}, \"alltops_materialize_allocs\": {}}}{}\n",
             r.size,
             r.method,
             r.scale,
@@ -226,6 +227,7 @@ fn emit_json(rows: &[Row]) {
             r.stats.canon_hits,
             r.stats.canon_misses,
             r.stats.canon_hit_rate(),
+            r.stats.sig_hashes,
             r.catalog_bytes,
             r.pair_bytes,
             r.alltops_bytes,

@@ -24,10 +24,8 @@
 //! "assuming that the IDs of different biological objects are not
 //! overlapping"); [`Catalog::finalize`] enforces this.
 
-use std::collections::HashMap;
-
 use ts_graph::{CanonicalCode, LGraph, PathSig};
-use ts_storage::{ColumnDef, Table, TableSchema, Value, ValueType};
+use ts_storage::{fast_hash_u16s, ColumnDef, FastMap, Table, TableSchema, Value, ValueType};
 
 use crate::query::RankScheme;
 
@@ -134,7 +132,7 @@ pub struct Catalog {
     /// Path-length limit `l` the catalog was computed at.
     pub l: usize,
     metas: Vec<TopologyMeta>,
-    code_index: HashMap<(EsPair, u32), TopologyId>,
+    code_index: FastMap<(EsPair, u32), TopologyId>,
     /// CSR pair store: keys sorted by (espair, e1, e2) after finalize,
     /// with both value streams in shared catalog-level buffers.
     pair_keys: Vec<PairKey>,
@@ -142,9 +140,14 @@ pub struct Catalog {
     pair_topos: Vec<TopologyId>,
     pair_sigs: Vec<u32>,
     sigs: Vec<PathSig>,
-    sig_index: HashMap<PathSig, u32>,
+    /// Signature dedup index keyed by the *precomputed* fast hash of the
+    /// signature bytes: the offline build hashes each signature once in
+    /// the worker, caches the hash alongside the interned id, and this
+    /// index re-interns at merge time without re-walking any signature.
+    /// Values are candidate-id lists (identity = full byte compare).
+    sig_index: FastMap<u64, Vec<u32>>,
     codes: Vec<CanonicalCode>,
-    code_ids: HashMap<CanonicalCode, u32>,
+    code_ids: FastMap<CanonicalCode, u32>,
     /// Pairs whose Definition-2 product was truncated by guard rails.
     pub truncated_pairs: u64,
     /// AllTops(E1, E2, TID) — indexes on E1, E2, TID.
@@ -174,15 +177,15 @@ impl Catalog {
         Catalog {
             l,
             metas: Vec::new(),
-            code_index: HashMap::new(),
+            code_index: FastMap::default(),
             pair_keys: Vec::new(),
             pair_offsets: vec![PairOffsets::default()],
             pair_topos: Vec::new(),
             pair_sigs: Vec::new(),
             sigs: Vec::new(),
-            sig_index: HashMap::new(),
+            sig_index: FastMap::default(),
             codes: Vec::new(),
-            code_ids: HashMap::new(),
+            code_ids: FastMap::default(),
             truncated_pairs: 0,
             alltops: Table::new(tops_schema("AllTops")),
             lefttops: Table::new(tops_schema("LeftTops")),
@@ -193,11 +196,22 @@ impl Catalog {
 
     /// Intern a path signature, returning its id.
     pub fn intern_sig(&mut self, sig: PathSig) -> u32 {
-        if let Some(&id) = self.sig_index.get(&sig) {
-            return id;
+        let hash = fast_hash_u16s(&sig.0);
+        self.intern_sig_prehashed(sig, hash)
+    }
+
+    /// Intern a signature whose fast hash was already computed (and
+    /// cached alongside its worker-local id) — the merge-time path: the
+    /// catalog never re-hashes a signature the worker hashed.
+    pub fn intern_sig_prehashed(&mut self, sig: PathSig, hash: u64) -> u32 {
+        let ids = self.sig_index.entry(hash).or_default();
+        for &id in ids.iter() {
+            if self.sigs[id as usize] == sig {
+                return id;
+            }
         }
         let id = self.sigs.len() as u32;
-        self.sig_index.insert(sig.clone(), id);
+        ids.push(id);
         self.sigs.push(sig);
         id
     }
@@ -209,7 +223,8 @@ impl Catalog {
 
     /// Id of an interned signature, if present.
     pub fn sig_id(&self, sig: &PathSig) -> Option<u32> {
-        self.sig_index.get(sig).copied()
+        let ids = self.sig_index.get(&fast_hash_u16s(&sig.0))?;
+        ids.iter().copied().find(|&id| self.sigs[id as usize] == *sig)
     }
 
     /// Number of interned signatures.
@@ -252,12 +267,27 @@ impl Catalog {
         code: CanonicalCode,
         path_sig: Option<PathSig>,
     ) -> TopologyId {
+        self.intern_topology_with(espair, graph, code, |_| path_sig)
+    }
+
+    /// Like [`Catalog::intern_topology`], but the path-signature
+    /// detection runs only when the topology is genuinely new — dedup
+    /// hits (the overwhelming majority: one per pair-topology incidence)
+    /// cost one map probe and nothing else.
+    pub fn intern_topology_with(
+        &mut self,
+        espair: EsPair,
+        graph: LGraph,
+        code: CanonicalCode,
+        path_sig: impl FnOnce(&LGraph) -> Option<PathSig>,
+    ) -> TopologyId {
         let code_id = self.intern_code(&code);
         if let Some(&id) = self.code_index.get(&(espair, code_id)) {
             return id;
         }
         let id = self.metas.len() as TopologyId;
         self.code_index.insert((espair, code_id), id);
+        let path_sig = path_sig(&graph);
         self.metas.push(TopologyMeta {
             id,
             espair,
@@ -510,7 +540,7 @@ impl Catalog {
     /// Row payload plus index-posting overhead, attributed to the espair
     /// that owns each row's TID.
     pub fn space_report(&self) -> Vec<(EsPair, SpaceRow)> {
-        let mut acc: HashMap<EsPair, SpaceRow> = HashMap::new();
+        let mut acc: FastMap<EsPair, SpaceRow> = FastMap::default();
         let per_row = |t: &Table| {
             if t.is_empty() {
                 0

@@ -23,14 +23,17 @@
 //!   interned in deterministic order so parallel and serial builds
 //!   produce identical catalogs.
 
+use std::hash::BuildHasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-use ts_graph::{DataGraph, PathArena, SchemaGraph};
-use ts_storage::Database;
+use ts_graph::{CanonicalCode, DataGraph, LGraph, PathArena, PathSig, SchemaGraph};
+use ts_storage::{Database, FastBuildHasher};
 
 use crate::catalog::{Catalog, EsPair, TopologyId};
-use crate::topology::{pair_topologies, CanonMemo, PairTopologies, TopOptions};
+use crate::topology::{
+    pair_topologies_into, CanonMemoH, PairTops, SigInterner, TopOptions, TopScratch,
+};
 use crate::weak::WeakPolicy;
 
 /// Options for the offline computation.
@@ -97,6 +100,13 @@ pub struct ComputeStats {
     pub canon_hits: u64,
     /// Canonicalizer memo misses (backtracking searches actually run).
     pub canon_misses: u64,
+    /// Full path-signature hash computations performed during the build
+    /// (the bench records this as `sig_hash_once`). Exactly one per
+    /// (pair, class) interner probe: grouping is sort-based, single-path
+    /// memoization is id-indexed, and the catalog re-interns worker
+    /// signatures from their cached hashes — none of those hash a
+    /// signature again.
+    pub sig_hashes: u64,
     /// Wall-clock milliseconds.
     pub millis: f64,
 }
@@ -112,16 +122,54 @@ impl ComputeStats {
     }
 }
 
-/// Result of computing one pair, before interning.
+/// Result of computing one pair: ranges into the worker's flat result
+/// arenas (the old form owned two heap `Vec`s per pair).
+#[derive(Debug, Clone, Copy)]
 struct LocalPair {
     e1: i64,
     e2: i64,
-    tops: PairTopologies,
     path_count: u64,
+    truncated: bool,
+    /// Range in the worker's union arena.
+    unions: (u32, u32),
+    /// Range in the worker's class-id arena.
+    classes: (u32, u32),
+}
+
+/// Everything one worker hands to the deterministic merge.
+struct WorkerOut {
+    locals: Vec<LocalPair>,
+    /// Flat arena of all pairs' distinct unions, addressed by
+    /// `LocalPair::unions` ranges.
+    unions: Vec<(LGraph, CanonicalCode)>,
+    /// Flat arena of all pairs' class ids (worker-local).
+    class_ids: Vec<u32>,
+    /// Worker-local signature table: id → (signature, cached fast hash).
+    sig_table: Vec<(PathSig, u64)>,
+    dropped: u64,
+    canon_hits: u64,
+    canon_misses: u64,
+    sig_hashes: u64,
 }
 
 /// Compute the full catalog.
 pub fn compute_catalog(
+    db: &Database,
+    g: &DataGraph,
+    schema: &SchemaGraph,
+    opts: &ComputeOptions,
+) -> (Catalog, ComputeStats) {
+    compute_catalog_with_hasher::<FastBuildHasher>(db, g, schema, opts)
+}
+
+/// [`compute_catalog`], generic over the hasher of the worker-side memo
+/// maps. Production always builds with the fast hasher (the public
+/// function above); the determinism guard in
+/// `tests/hasher_equivalence.rs` rebuilds with `std`'s randomly-seeded
+/// SipHash and asserts the catalogs are byte-identical — proof that no
+/// output depends on map iteration order. (The catalog-side interner
+/// maps are not parameterized: they are lookup-only and never iterated.)
+pub fn compute_catalog_with_hasher<S: BuildHasher + Default>(
     db: &Database,
     g: &DataGraph,
     schema: &SchemaGraph,
@@ -142,8 +190,8 @@ pub fn compute_catalog(
     };
 
     for &espair in es_pairs {
-        let locals = compute_espair(g, schema, espair, opts, &mut stats);
-        intern_locals(&mut catalog, espair, locals, &mut stats);
+        let outs = compute_espair::<S>(g, schema, espair, opts);
+        intern_locals(&mut catalog, espair, outs, &mut stats);
     }
 
     catalog.finalize();
@@ -168,10 +216,12 @@ pub fn default_es_pairs(db: &Database, schema: &SchemaGraph, l: usize) -> Vec<Es
     out
 }
 
-/// Per-thread state of the offline build: reusable enumeration buffers
-/// plus the canonicalizer memo. One per worker; nothing is shared, so
-/// the hot loop takes no locks.
-struct Worker<'a> {
+/// Per-thread state of the offline build: reusable enumeration buffers,
+/// the canonicalizer memo, the signature interner, and one
+/// `PairTopologies`-shaped scratch ([`PairTops`]) reused for every pair.
+/// One per worker; nothing is shared, so the hot loop takes no locks and
+/// a warm worker allocates only the unions it keeps.
+struct Worker<'a, S: BuildHasher + Default> {
     g: &'a DataGraph,
     reach: &'a [Vec<bool>],
     espair: EsPair,
@@ -180,12 +230,21 @@ struct Worker<'a> {
     arena: PathArena,
     /// `(destination, arena index)` scratch, sorted to group by pair.
     keyed: Vec<(u32, u32)>,
-    memo: CanonMemo,
+    memo: CanonMemoH<S>,
+    /// Worker-local signature interner: each signature hashed once, the
+    /// hash cached alongside the id for the merge phase.
+    sigs: SigInterner,
+    /// Grouping/odometer/builder buffers, reused across pairs.
+    scratch: TopScratch,
+    /// The per-pair result scratch, drained into the flat arenas below.
+    tops: PairTops,
+    unions: Vec<(LGraph, CanonicalCode)>,
+    class_ids: Vec<u32>,
     locals: Vec<LocalPair>,
     dropped: u64,
 }
 
-impl<'a> Worker<'a> {
+impl<'a, S: BuildHasher + Default> Worker<'a, S> {
     fn new(
         g: &'a DataGraph,
         reach: &'a [Vec<bool>],
@@ -199,7 +258,12 @@ impl<'a> Worker<'a> {
             opts,
             arena: PathArena::new(),
             keyed: Vec::new(),
-            memo: CanonMemo::new(),
+            memo: CanonMemoH::new(),
+            sigs: SigInterner::new(),
+            scratch: TopScratch::new(),
+            tops: PairTops::default(),
+            unions: Vec::new(),
+            class_ids: Vec::new(),
             locals: Vec::new(),
             dropped: 0,
         }
@@ -246,38 +310,62 @@ impl<'a> Worker<'a> {
             }
             refs.clear();
             refs.extend(self.keyed[i..j].iter().map(|&(_, idx)| self.arena.get(idx as usize)));
-            let tops = pair_topologies(self.g, &refs, self.opts.top_opts, &mut self.memo);
+            pair_topologies_into(
+                self.g,
+                &refs,
+                self.opts.top_opts,
+                &mut self.memo,
+                &mut self.sigs,
+                &mut self.scratch,
+                &mut self.tops,
+            );
+            // Drain the pair scratch into the flat result arenas; the
+            // scratch keeps its capacity for the next pair.
+            let u0 = self.unions.len() as u32;
+            self.unions.extend(self.tops.unions.drain(..));
+            let c0 = self.class_ids.len() as u32;
+            self.class_ids.extend_from_slice(&self.tops.class_ids);
             self.locals.push(LocalPair {
                 e1: self.g.node_entity(a),
                 e2: self.g.node_entity(b),
-                tops,
                 path_count: (j - i) as u64,
+                truncated: self.tops.truncated,
+                unions: (u0, self.unions.len() as u32),
+                classes: (c0, self.class_ids.len() as u32),
             });
             i = j;
         }
     }
 
-    fn finish(self) -> (Vec<LocalPair>, u64, u64, u64) {
-        (self.locals, self.dropped, self.memo.hits, self.memo.misses)
+    fn finish(self) -> WorkerOut {
+        WorkerOut {
+            locals: self.locals,
+            unions: self.unions,
+            class_ids: self.class_ids,
+            dropped: self.dropped,
+            canon_hits: self.memo.hits,
+            canon_misses: self.memo.misses,
+            sig_hashes: self.sigs.hashes,
+            sig_table: self.sigs.into_table(),
+        }
     }
 }
 
-fn compute_espair(
+fn compute_espair<S: BuildHasher + Default>(
     g: &DataGraph,
     schema: &SchemaGraph,
     espair: EsPair,
     opts: &ComputeOptions,
-    stats: &mut ComputeStats,
-) -> Vec<LocalPair> {
+) -> Vec<WorkerOut> {
     let sources: &[u32] = g.nodes_of_type(espair.from);
     if sources.is_empty() {
         return Vec::new();
     }
     let reach = schema.reach_table(espair.to, opts.l);
 
-    let mut results: Vec<(Vec<LocalPair>, u64, u64, u64)> = Vec::new();
+    let mut results: Vec<WorkerOut> = Vec::new();
     if !opts.parallel || sources.len() < opts.min_parallel_sources {
-        let mut w = Worker::new(g, &reach, espair, opts);
+        let mut w = Worker::<S>::new(g, &reach, espair, opts);
         for &a in sources {
             w.run_source(a);
         }
@@ -303,7 +391,7 @@ fn compute_espair(
                     let cursor = &cursor;
                     let reach = &reach;
                     s.spawn(move || {
-                        let mut w = Worker::new(g, reach, espair, opts);
+                        let mut w = Worker::<S>::new(g, reach, espair, opts);
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                             if start >= sources.len() {
@@ -322,52 +410,88 @@ fn compute_espair(
             }
         });
     }
-
-    let mut locals = Vec::new();
-    for (mut l, dropped, hits, misses) in results {
-        stats.weak_paths_dropped += dropped;
-        stats.canon_hits += hits;
-        stats.canon_misses += misses;
-        locals.append(&mut l);
-    }
-    locals
+    results
 }
 
 /// Intern worker results deterministically: pairs are sorted by entity
 /// ids before touching the catalog, so the interning order — and with it
 /// every id in the catalog — is independent of how many workers ran and
-/// which chunks they pulled.
+/// which chunks they pulled. Worker-local signature ids are resolved to
+/// catalog ids lazily, in merge order, through each worker's cached
+/// hashes — the catalog interner never re-hashes a signature.
 fn intern_locals(
     catalog: &mut Catalog,
     espair: EsPair,
-    mut locals: Vec<LocalPair>,
+    mut outs: Vec<WorkerOut>,
     stats: &mut ComputeStats,
 ) {
-    locals.sort_by_key(|p| (p.e1, p.e2));
-    let (n_topos, n_sigs) = locals
-        .iter()
-        .fold((0, 0), |(t, s), lp| (t + lp.tops.unions.len(), s + lp.tops.classes.len()));
-    catalog.reserve_pairs(locals.len(), n_topos, n_sigs);
+    let (mut n_pairs, mut n_topos, mut n_sigs) = (0usize, 0usize, 0usize);
+    for o in &outs {
+        stats.weak_paths_dropped += o.dropped;
+        stats.canon_hits += o.canon_hits;
+        stats.canon_misses += o.canon_misses;
+        stats.sig_hashes += o.sig_hashes;
+        n_pairs += o.locals.len();
+        n_topos += o.unions.len();
+        n_sigs += o.class_ids.len();
+    }
+    catalog.reserve_pairs(n_pairs, n_topos, n_sigs);
+    // Merge order: (e1, e2), regardless of which worker computed a pair.
+    let mut order: Vec<(i64, i64, u32, u32)> = Vec::with_capacity(n_pairs);
+    for (w, o) in outs.iter().enumerate() {
+        for (l, lp) in o.locals.iter().enumerate() {
+            order.push((lp.e1, lp.e2, w as u32, l as u32));
+        }
+    }
+    order.sort_unstable();
+    // Per-worker map: local signature id → catalog id (u32::MAX =
+    // unresolved). First use interns through the worker's cached hash.
+    let mut sig_maps: Vec<Vec<u32>> =
+        outs.iter().map(|o| vec![u32::MAX; o.sig_table.len()]).collect();
     // Two scratch vectors reused across every pair of the espair; the
     // CSR store copies out of them, so nothing per-pair survives.
     let mut topos: Vec<TopologyId> = Vec::new();
     let mut sigs: Vec<u32> = Vec::new();
-    for lp in locals {
+    for (e1, e2, w, l) in order {
+        let out = &mut outs[w as usize];
+        let lp = out.locals[l as usize];
         stats.pairs += 1;
         stats.paths += lp.path_count;
-        if lp.tops.truncated {
+        if lp.truncated {
             stats.truncated_pairs += 1;
         }
         sigs.clear();
-        sigs.extend(lp.tops.classes.into_iter().map(|s| catalog.intern_sig(s)));
+        for idx in lp.classes.0..lp.classes.1 {
+            let lid = out.class_ids[idx as usize] as usize;
+            let mapped = sig_maps[w as usize][lid];
+            let gid = if mapped == u32::MAX {
+                let (sig, hash) =
+                    std::mem::replace(&mut out.sig_table[lid], (PathSig(Vec::new()), 0));
+                let gid = catalog.intern_sig_prehashed(sig, hash);
+                sig_maps[w as usize][lid] = gid;
+                gid
+            } else {
+                mapped
+            };
+            sigs.push(gid);
+        }
         topos.clear();
-        for (graph, code) in lp.tops.unions {
-            let path_sig = path_sig_of_graph(&graph, espair);
-            topos.push(catalog.intern_topology(espair, graph, code, path_sig));
+        for idx in lp.unions.0..lp.unions.1 {
+            let (graph, code) = std::mem::replace(
+                &mut out.unions[idx as usize],
+                (LGraph::new(), CanonicalCode::default()),
+            );
+            // The path-shape detection (allocating walk of the structure
+            // graph) runs only for genuinely new topologies — once per
+            // distinct topology instead of once per pair incidence.
+            topos.push(
+                catalog
+                    .intern_topology_with(espair, graph, code, |gr| path_sig_of_graph(gr, espair)),
+            );
         }
         topos.sort_unstable();
         topos.dedup();
-        catalog.add_pair(espair, lp.e1, lp.e2, &topos, &sigs);
+        catalog.add_pair(espair, e1, e2, &topos, &sigs);
     }
 }
 

@@ -45,10 +45,13 @@ pub mod weak;
 
 pub use catalog::{Catalog, EsPair, PairKey, PairOffsets, PairView, TopologyId, TopologyMeta};
 pub use compare::{diff, ResultView, TopologyDiff};
-pub use compute::{compute_catalog, ComputeOptions, ComputeStats};
+pub use compute::{compute_catalog, compute_catalog_with_hasher, ComputeOptions, ComputeStats};
 pub use methods::{EvalOutcome, Method, QueryContext};
 pub use prune::{prune_catalog, PruneOptions, PruneReport};
 pub use query::{RankScheme, TopologyQuery};
 pub use score::{score_catalog, DomainScorer};
-pub use topology::{pair_topologies, CanonMemo, PairTopologies, TopOptions};
+pub use topology::{
+    pair_topologies, pair_topologies_into, CanonMemo, CanonMemoH, PairTopologies, PairTops,
+    SigInterner, TopOptions, TopScratch,
+};
 pub use weak::WeakPolicy;

@@ -18,9 +18,7 @@
 //! the overhead the paper's cost-based optimizer weighs against the
 //! early-termination benefit.
 
-use std::collections::HashMap;
-
-use ts_storage::{Row, Table, Value};
+use ts_storage::{FastMap, Row, Table, Value};
 
 use crate::op::{BoxedOp, Operator, Work};
 
@@ -215,7 +213,7 @@ impl<'a> Hdgj<'a> {
                 }
             }
             // Hash the group on the join key.
-            let mut hash: HashMap<Value, Vec<usize>> = HashMap::new();
+            let mut hash: FastMap<Value, Vec<usize>> = FastMap::default();
             for (i, r) in group_rows.iter().enumerate() {
                 hash.entry(r.get(self.outer_col).clone()).or_default().push(i);
             }

@@ -1,8 +1,6 @@
 //! Regular (non-DGJ) join operators: hash join and index nested loops.
 
-use std::collections::HashMap;
-
-use ts_storage::{Row, Table, Value};
+use ts_storage::{FastMap, Row, Table, Value};
 
 use crate::op::{BoxedOp, Operator, Work};
 
@@ -18,7 +16,7 @@ pub struct HashJoin<'a> {
     build: BoxedOp<'a>,
     probe_col: usize,
     build_col: usize,
-    table: Option<HashMap<Value, Vec<Row>>>,
+    table: Option<FastMap<Value, Vec<Row>>>,
     /// Matches pending for the current probe row.
     pending: Vec<Row>,
     work: Work,
@@ -40,7 +38,7 @@ impl<'a> HashJoin<'a> {
         if self.table.is_some() {
             return;
         }
-        let mut map: HashMap<Value, Vec<Row>> = HashMap::new();
+        let mut map: FastMap<Value, Vec<Row>> = FastMap::default();
         while let Some(r) = self.build.next() {
             self.work.tick(1);
             map.entry(r.get(self.build_col).clone()).or_default().push(r);

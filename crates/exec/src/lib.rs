@@ -37,4 +37,4 @@ pub use join::{HashJoin, IndexNlJoin};
 pub use op::{BoxedOp, Operator, Work};
 pub use scan::{IndexLookupScan, TableScan, ValuesScan};
 pub use simple::{Distinct, Filter, Limit, Project, UnionAll};
-pub use sort::Sort;
+pub use sort::{Dir, Sort};

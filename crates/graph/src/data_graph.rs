@@ -1,7 +1,7 @@
 //! The data graph (Fig. 6 of the paper): entities as nodes, relationship
 //! rows as undirected labeled edges.
 
-use std::collections::HashMap;
+use ts_storage::FastMap;
 
 use ts_storage::{Database, StorageError, Value};
 
@@ -18,7 +18,7 @@ pub struct DataGraph {
     /// Adjacency: `(relationship-set id, neighbour)`, sorted and deduped.
     adj: Vec<Vec<(u16, NodeId)>>,
     /// `(entity set, entity id)` → node.
-    index: HashMap<(u16, i64), NodeId>,
+    index: FastMap<(u16, i64), NodeId>,
     /// Nodes per entity set.
     type_nodes: Vec<Vec<NodeId>>,
 }

@@ -176,6 +176,24 @@ impl InstanceGraphBuilder {
         self.graph
     }
 
+    /// Drop all nodes and edges, keeping buffer capacity — the reusable
+    /// form of the builder: the Definition-2 product builds one union
+    /// per representative combination, and a cleared builder makes that
+    /// allocation-free once its buffers are warm.
+    pub fn clear(&mut self) {
+        self.graph.labels.clear();
+        self.graph.edges.clear();
+        self.keys.clear();
+    }
+
+    /// Normalize and borrow the built union without consuming the
+    /// builder. Callers clone only the unions they decide to keep (the
+    /// memoized-canonicalization path discards almost all of them).
+    pub fn finish_ref(&mut self) -> &LGraph {
+        self.graph.normalize();
+        &self.graph
+    }
+
     /// Local index of an already-interned key, if present.
     pub fn lookup(&self, key: u32) -> Option<u8> {
         self.keys.iter().find(|(k, _)| *k == key).map(|&(_, i)| i)

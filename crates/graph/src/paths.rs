@@ -17,7 +17,7 @@
 
 use crate::data_graph::{DataGraph, NodeId};
 use crate::schema_graph::SchemaGraph;
-use std::collections::HashMap;
+use ts_storage::FastMap;
 
 /// An owned instance-level simple path. `nodes.len() == rels.len() + 1`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -100,13 +100,34 @@ impl PathRef<'_> {
     /// in one pass: the forward sequence is materialized once and compared
     /// against its own mirror in place — no clone-and-reverse round-trip.
     pub fn sig(&self, g: &DataGraph) -> PathSig {
-        let mut fwd = Vec::with_capacity(self.nodes.len() + self.rels.len());
+        let mut fwd = Vec::new();
+        self.sig_into(g, &mut fwd);
+        PathSig(fwd)
+    }
+
+    /// Fill `buf` with the path's normalized signature sequence — the
+    /// scratch form of [`PathRef::sig`]. The offline build groups and
+    /// interns signatures through one reused buffer, so a path's sig
+    /// costs no allocation once the buffer is warm.
+    pub fn sig_into(&self, g: &DataGraph, buf: &mut Vec<u16>) {
+        buf.clear();
+        self.sig_extend(g, buf);
+    }
+
+    /// Append the path's normalized signature sequence to `arena`
+    /// (normalizing only the appended tail) — the flat-arena form used
+    /// when many paths' signatures share one buffer. This is the single
+    /// definition of the signature encoding; both scratch forms go
+    /// through it.
+    pub fn sig_extend(&self, g: &DataGraph, arena: &mut Vec<u16>) {
+        let start = arena.len();
+        arena.reserve(self.nodes.len() + self.rels.len());
         for i in 0..self.rels.len() {
-            fwd.push(g.node_type(self.nodes[i]));
-            fwd.push(self.rels[i]);
+            arena.push(g.node_type(self.nodes[i]));
+            arena.push(self.rels[i]);
         }
-        fwd.push(g.node_type(*self.nodes.last().expect("path has nodes")));
-        PathSig::from_interleaved(fwd)
+        arena.push(g.node_type(*self.nodes.last().expect("path has nodes")));
+        PathSig::normalize_slice(&mut arena[start..]);
     }
 
     /// An owning copy.
@@ -125,18 +146,27 @@ impl PathSig {
     /// reverse, decided by an in-place mirror comparison (the sequence is
     /// reversed only when the reverse actually wins).
     pub fn from_interleaved(mut seq: Vec<u16>) -> PathSig {
+        Self::normalize_slice(&mut seq);
+        PathSig(seq)
+    }
+
+    /// In-place normalization of an interleaved sequence: reverse it iff
+    /// the reverse is lexicographically smaller (mirror comparison, no
+    /// copy). After this, the slice *is* signature bytes — comparing or
+    /// hashing it is comparing or hashing the signature.
+    pub fn normalize_slice(seq: &mut [u16]) {
         let n = seq.len();
         for i in 0..n {
             match seq[i].cmp(&seq[n - 1 - i]) {
-                std::cmp::Ordering::Less => return PathSig(seq),
+                std::cmp::Ordering::Less => return,
                 std::cmp::Ordering::Greater => {
                     seq.reverse();
-                    return PathSig(seq);
+                    return;
                 }
                 std::cmp::Ordering::Equal => {}
             }
         }
-        PathSig(seq) // palindromic: forward == reverse
+        // palindromic: forward == reverse
     }
 
     /// Number of edges in paths of this class.
@@ -316,8 +346,9 @@ pub struct PairPaths {
     pub arena: PathArena,
     /// `(a, b)` → arena indices of the paths from a to b. For
     /// `from_es == to_es`, keys are normalized to `a < b` and each path
-    /// is stored oriented a→b.
-    pub map: HashMap<(NodeId, NodeId), Vec<u32>>,
+    /// is stored oriented a→b. Consumers never iterate this map raw —
+    /// [`PairPaths::sorted_pairs`] is the deterministic order.
+    pub map: FastMap<(NodeId, NodeId), Vec<u32>>,
 }
 
 impl PairPaths {
@@ -356,7 +387,7 @@ impl PairPaths {
 /// the duplicate b→a discovery of same-type pairs.
 struct PairSink {
     arena: PathArena,
-    map: HashMap<(NodeId, NodeId), Vec<u32>>,
+    map: FastMap<(NodeId, NodeId), Vec<u32>>,
     same_type: bool,
 }
 
@@ -384,7 +415,7 @@ pub fn enumerate_pair_paths(
 ) -> PairPaths {
     let reach = schema.reach_table(to_es, l);
     let mut sink =
-        PairSink { arena: PathArena::new(), map: HashMap::new(), same_type: from_es == to_es };
+        PairSink { arena: PathArena::new(), map: FastMap::default(), same_type: from_es == to_es };
     for &a in g.nodes_of_type(from_es) {
         paths_from_into(g, &reach, a, to_es, l, &mut sink);
     }

@@ -21,9 +21,9 @@
 //! [`Row`]s survive only at insertion boundaries and as operator output
 //! tuples in `ts-exec`.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::hash::FastMap;
 use crate::row::{Row, RowId};
 use crate::value::{Value, ValueType};
 
@@ -67,7 +67,7 @@ impl NullMask {
 #[derive(Debug, Clone, Default)]
 struct StrPool {
     strings: Vec<Arc<str>>,
-    index: HashMap<Arc<str>, u32>,
+    index: FastMap<Arc<str>, u32>,
 }
 
 impl StrPool {

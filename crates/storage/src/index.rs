@@ -5,8 +5,7 @@
 //! optimizer's `I_i` parameter (cost of an index probe, §5.4.3) is the cost
 //! of one [`HashIndex::probe`].
 
-use std::collections::HashMap;
-
+use crate::hash::{FastBuildHasher, FastMap};
 use crate::row::RowId;
 use crate::value::Value;
 
@@ -14,9 +13,11 @@ use crate::value::Value;
 ///
 /// Non-unique by design; a unique (primary key) index is simply one where
 /// every posting list has length 1, enforced by [`crate::Table`] on insert.
+/// Probes hash with the fast non-Sip hasher ([`crate::hash`]); probe
+/// results are position-independent, so iteration order never leaks.
 #[derive(Debug, Clone, Default)]
 pub struct HashIndex {
-    map: HashMap<Value, Vec<RowId>>,
+    map: FastMap<Value, Vec<RowId>>,
 }
 
 impl HashIndex {
@@ -28,7 +29,7 @@ impl HashIndex {
     /// Empty index pre-sized for `distinct` keys — bulk builds size the
     /// map once instead of rehash-growing run by run.
     pub fn with_capacity(distinct: usize) -> Self {
-        HashIndex { map: HashMap::with_capacity(distinct) }
+        HashIndex { map: FastMap::with_capacity_and_hasher(distinct, FastBuildHasher::default()) }
     }
 
     /// Insert a posting.
@@ -57,7 +58,8 @@ impl HashIndex {
     pub fn from_sorted_int_postings(sorted: &[(i64, RowId)]) -> Self {
         let distinct = sorted.windows(2).filter(|w| w[0].0 != w[1].0).count()
             + usize::from(!sorted.is_empty());
-        let mut map: HashMap<Value, Vec<RowId>> = HashMap::with_capacity(distinct);
+        let mut map: FastMap<Value, Vec<RowId>> =
+            FastMap::with_capacity_and_hasher(distinct, FastBuildHasher::default());
         let mut i = 0;
         while i < sorted.len() {
             let key = sorted[i].0;

@@ -18,7 +18,9 @@
 //!   frequencies) used by the System-R style optimizer in `ts-optimizer`,
 //! * a [`Database`] that also carries the Entity–Relationship schema
 //!   (entity sets and binary relationship sets, §2.1 of the paper) from
-//!   which `ts-graph` builds the data graph.
+//!   which `ts-graph` builds the data graph,
+//! * the vendored fast non-Sip [`hash`]er ([`FastMap`]/[`FastSet`])
+//!   behind every hot-path map in the workspace.
 //!
 //! Everything is deliberately simple, deterministic and allocation-aware;
 //! the point is a faithful, inspectable substrate, not a general DBMS.
@@ -26,6 +28,7 @@
 pub mod column;
 pub mod db;
 pub mod error;
+pub mod hash;
 pub mod index;
 pub mod predicate;
 pub mod row;
@@ -37,6 +40,7 @@ pub mod value;
 pub use column::{ColumnStore, RowRef};
 pub use db::{Database, EntitySetDef, EntitySetId, RelSetDef, RelSetId};
 pub use error::StorageError;
+pub use hash::{fast_hash_u16s, FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use index::HashIndex;
 pub use predicate::Predicate;
 pub use row::{Row, RowId};

@@ -8,9 +8,8 @@
 //! techniques: per-column distinct counts, most-common-value sketches, and
 //! keyword document frequencies, collected in one pass over a table.
 
-use std::collections::HashMap;
-
 use crate::column::ColumnStore;
+use crate::hash::FastMap;
 use crate::schema::{ColumnId, TableSchema};
 use crate::value::{Value, ValueType};
 
@@ -27,7 +26,7 @@ pub struct ColumnStats {
     /// Most common values with exact counts (top 64 by count).
     pub mcv: Vec<(Value, u64)>,
     /// For string columns: token → number of rows containing the token.
-    pub token_doc_freq: HashMap<String, u64>,
+    pub token_doc_freq: FastMap<String, u64>,
 }
 
 /// Statistics for one table.
@@ -51,7 +50,11 @@ impl TableStats {
                 // One counting pass per column: Str columns derive value
                 // counts AND token frequencies from a single str_counts
                 // scan; Int columns take the sort-and-run-length pass.
-                let mut token_doc_freq: HashMap<String, u64> = HashMap::new();
+                let mut token_doc_freq: FastMap<String, u64> = FastMap::default();
+                // Token scratch, reused across the column's pooled
+                // strings; sort-dedup replaces the old `Vec::contains`
+                // probe, which was O(tokens²) per string.
+                let mut toks: Vec<&str> = Vec::new();
                 let counts: Vec<(Value, u64)> = match schema.column_type(c) {
                     ValueType::Int => store.value_counts(c),
                     ValueType::Str => store
@@ -61,11 +64,19 @@ impl TableStats {
                             // Count each token once per row (document
                             // frequency); rows sharing a pooled string
                             // share its token set.
-                            let mut seen: Vec<&str> = Vec::new();
-                            for tok in s.split_whitespace() {
-                                if !seen.contains(&tok) {
-                                    seen.push(tok);
-                                    *token_doc_freq.entry(tok.to_string()).or_insert(0) += rows;
+                            toks.clear();
+                            toks.extend(s.split_whitespace());
+                            toks.sort_unstable();
+                            toks.dedup();
+                            for &tok in &toks {
+                                // Probe with the borrowed token; a key
+                                // is only allocated the first time the
+                                // token is seen in the column.
+                                match token_doc_freq.get_mut(tok) {
+                                    Some(df) => *df += rows,
+                                    None => {
+                                        token_doc_freq.insert(tok.to_string(), rows);
+                                    }
                                 }
                             }
                             (Value::Str(std::sync::Arc::clone(s)), rows)
@@ -218,6 +229,48 @@ mod tests {
         let st = TableStats::collect(&schema(), &store_of(&schema(), &[]));
         assert_eq!(st.eq_selectivity(1, &Value::str("mRNA")), 0.0);
         assert_eq!(st.contains_selectivity(2, "x"), 0.0);
+    }
+
+    #[test]
+    fn token_dedup_matches_naive_reference() {
+        // Regression for the sort-dedup rewrite: document frequencies
+        // must match a naive first-occurrence scan exactly, including on
+        // strings with heavy in-string repetition and shared rows.
+        let s = store_of(
+            &schema(),
+            &[
+                row![1i64, "mRNA", "ubi ubi ubi carrier ubi protein protein"],
+                row![2i64, "mRNA", "ubi ubi ubi carrier ubi protein protein"],
+                row![3i64, "mRNA", "protein carrier"],
+                row![4i64, "EST", "zz aa zz aa zz"],
+                row![5i64, "EST", "aa"],
+            ],
+        );
+        let st = TableStats::collect(&schema(), &s);
+        // Naive reference: per row, count each token once.
+        let mut reference: std::collections::HashMap<&str, u64> = Default::default();
+        for doc in [
+            "ubi ubi ubi carrier ubi protein protein",
+            "ubi ubi ubi carrier ubi protein protein",
+            "protein carrier",
+            "zz aa zz aa zz",
+            "aa",
+        ] {
+            let mut seen: Vec<&str> = Vec::new();
+            for tok in doc.split_whitespace() {
+                if !seen.contains(&tok) {
+                    seen.push(tok);
+                    *reference.entry(tok).or_insert(0) += 1;
+                }
+            }
+        }
+        assert_eq!(st.columns[2].token_doc_freq.len(), reference.len());
+        for (tok, &df) in &reference {
+            assert_eq!(st.columns[2].token_doc_freq.get(*tok), Some(&df), "token {tok}");
+        }
+        assert_eq!(st.columns[2].token_doc_freq.get("ubi"), Some(&2));
+        assert_eq!(st.columns[2].token_doc_freq.get("aa"), Some(&2));
+        assert_eq!(st.columns[2].token_doc_freq.get("protein"), Some(&3));
     }
 
     #[test]

@@ -1,9 +1,8 @@
 //! Tables: columnar row storage + indexes + statistics.
 
-use std::collections::HashMap;
-
 use crate::column::{ColumnStore, RowRef};
 use crate::error::StorageError;
+use crate::hash::FastMap;
 use crate::index::HashIndex;
 use crate::predicate::Predicate;
 use crate::row::{Row, RowId};
@@ -23,7 +22,7 @@ pub struct Table {
     /// Unique index on the primary-key column, if the schema declares one.
     pk_index: Option<HashIndex>,
     /// Secondary (non-unique) indexes by column.
-    secondary: HashMap<ColumnId, HashIndex>,
+    secondary: FastMap<ColumnId, HashIndex>,
     /// Cached statistics; `None` until [`Table::analyze`] runs.
     stats: Option<TableStats>,
 }
@@ -33,7 +32,7 @@ impl Table {
     pub fn new(schema: TableSchema) -> Self {
         let pk_index = schema.primary_key.map(|_| HashIndex::new());
         let store = ColumnStore::new(schema.columns.iter().map(|c| c.ty));
-        Table { schema, store, pk_index, secondary: HashMap::new(), stats: None }
+        Table { schema, store, pk_index, secondary: FastMap::default(), stats: None }
     }
 
     /// The table schema.
