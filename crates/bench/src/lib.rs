@@ -15,6 +15,8 @@
 //!   to three orders of magnitude slower than everything else; that is
 //!   its role in the paper, but it dominates wall-clock).
 
+#![forbid(unsafe_code)]
+
 use ts_biozon::{generate, Biozon, BiozonConfig};
 use ts_core::{
     compute_catalog, prune_catalog, score_catalog, Catalog, ComputeOptions, EsPair, PruneOptions,

@@ -26,6 +26,8 @@
 //!
 //! Everything is deterministic in the seed.
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod generate;
 pub mod workload;

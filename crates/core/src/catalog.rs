@@ -25,6 +25,7 @@
 //! overlapping"); [`Catalog::finalize`] enforces this.
 
 use ts_graph::{CanonicalCode, LGraph, PathSig};
+use ts_storage::cast;
 use ts_storage::{fast_hash_u16s, ColumnDef, FastMap, Table, TableSchema, Value, ValueType};
 
 use crate::query::RankScheme;
@@ -210,7 +211,7 @@ impl Catalog {
                 return id;
             }
         }
-        let id = self.sigs.len() as u32;
+        let id = cast::to_u32(self.sigs.len());
         ids.push(id);
         self.sigs.push(sig);
         id
@@ -238,7 +239,7 @@ impl Catalog {
         if let Some(&id) = self.code_ids.get(code) {
             return id;
         }
-        let id = self.codes.len() as u32;
+        let id = cast::to_u32(self.codes.len());
         self.code_ids.insert(code.clone(), id);
         self.codes.push(code.clone());
         id
@@ -316,7 +317,10 @@ impl Catalog {
         self.pair_topos.extend_from_slice(topos);
         self.pair_sigs.extend_from_slice(sigs);
         self.pair_offsets.push(PairOffsets {
+            // lint: allow(unwrap-in-lib): deliberate capacity guard — try_from turns
+            // silent 32-bit truncation into a loud failure at append time
             topos: u32::try_from(self.pair_topos.len()).expect("CSR topo buffer exceeds u32"),
+            // lint: allow(unwrap-in-lib): deliberate capacity guard, as above
             sigs: u32::try_from(self.pair_sigs.len()).expect("CSR sig buffer exceeds u32"),
         });
     }
@@ -416,7 +420,7 @@ impl Catalog {
         if self.pair_keys.windows(2).all(|w| w[0] <= w[1]) {
             return;
         }
-        let mut perm: Vec<u32> = (0..self.pair_keys.len() as u32).collect();
+        let mut perm: Vec<u32> = (0..cast::to_u32(self.pair_keys.len())).collect();
         perm.sort_by_key(|&i| self.pair_keys[i as usize]);
         let mut keys = Vec::with_capacity(self.pair_keys.len());
         let mut offsets = Vec::with_capacity(self.pair_offsets.len());
@@ -429,7 +433,10 @@ impl Catalog {
             keys.push(self.pair_keys[i]);
             topos.extend_from_slice(&self.pair_topos[o0.topos as usize..o1.topos as usize]);
             sigs.extend_from_slice(&self.pair_sigs[o0.sigs as usize..o1.sigs as usize]);
-            offsets.push(PairOffsets { topos: topos.len() as u32, sigs: sigs.len() as u32 });
+            offsets.push(PairOffsets {
+                topos: cast::to_u32(topos.len()),
+                sigs: cast::to_u32(sigs.len()),
+            });
         }
         self.pair_keys = keys;
         self.pair_offsets = offsets;
@@ -460,6 +467,8 @@ impl Catalog {
             for &tid in &self.pair_topos[lo..hi] {
                 self.alltops
                     .insert_ints(&[k.e1, k.e2, tid as i64])
+                    // lint: allow(unwrap-in-lib): alltops is created by this type
+                    // with a fixed 3-Int-column schema; arity and types match
                     .expect("alltops schema is fixed");
             }
         }

@@ -9,9 +9,8 @@
 //! like "which relationship structures appear for TFs but not for
 //! enzymes?" fall out directly).
 
-use std::collections::HashMap;
-
 use ts_graph::CanonicalCode;
+use ts_storage::FastMap;
 
 use crate::catalog::{Catalog, TopologyId};
 
@@ -28,7 +27,7 @@ impl<'a> ResultView<'a> {
         ResultView { catalog, tids }
     }
 
-    fn codes(&self) -> HashMap<&CanonicalCode, TopologyId> {
+    fn codes(&self) -> FastMap<&CanonicalCode, TopologyId> {
         self.tids.iter().map(|&t| (&self.catalog.meta(t).code, t)).collect()
     }
 }

@@ -32,6 +32,8 @@
 //!   domain-knowledge pruning policy of §6.2.3;
 //! * [`instances`] — instance retrieval for a chosen topology (§6.2.4).
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod compare;
 pub mod compute;

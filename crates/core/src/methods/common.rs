@@ -1,9 +1,8 @@
 //! Shared plumbing for the evaluation strategies.
 
-use std::collections::HashSet;
-
 use ts_exec::Work;
 use ts_graph::PathSig;
+use ts_storage::FastSet;
 use ts_storage::{Predicate, Table, Value};
 
 use crate::catalog::{EsPair, TopologyId};
@@ -35,15 +34,17 @@ pub fn orient<'q>(q: &'q TopologyQuery) -> Oriented<'q> {
 pub fn entity_table<'a>(ctx: &QueryContext<'a>, es: u16) -> (&'a Table, usize) {
     let def = ctx.db.entity_set(es as usize);
     let table = ctx.db.table(def.table);
+    // lint: allow(unwrap-in-lib): Database::add_entity_set rejects tables
+    // without a primary key, so every entity-set table carries one
     let pk = table.schema().primary_key.expect("entity sets have primary keys");
     (table, pk)
 }
 
 /// Entity ids of `es` satisfying `con` (a metered sequential scan — the
 /// σ of the paper's plans).
-pub fn selected_ids(ctx: &QueryContext<'_>, es: u16, con: &Predicate, work: &Work) -> HashSet<i64> {
+pub fn selected_ids(ctx: &QueryContext<'_>, es: u16, con: &Predicate, work: &Work) -> FastSet<i64> {
     let (table, pk) = entity_table(ctx, es);
-    let mut out = HashSet::new();
+    let mut out = FastSet::default();
     for row in table.rows() {
         work.tick(1);
         if con.eval_ref(row) {
@@ -120,11 +121,13 @@ pub fn decode_sig(sig: &PathSig, start_type: u16) -> Option<(Vec<u16>, Vec<u16>)
 pub fn online_path_check(
     ctx: &QueryContext<'_>,
     tid: TopologyId,
-    a_ids: &HashSet<i64>,
-    b_ids: &HashSet<i64>,
+    a_ids: &FastSet<i64>,
+    b_ids: &FastSet<i64>,
     work: &Work,
 ) -> bool {
     let meta = ctx.catalog.meta(tid);
+    // lint: allow(unwrap-in-lib): callers run the online check only for pruned
+    // topologies, and pruning selects only path-shaped victims (path_sig is Some)
     let sig = meta.path_sig.as_ref().expect("online check requires a path topology");
     let Some((types, rels)) = decode_sig(sig, meta.espair.from) else {
         return false;

@@ -45,6 +45,8 @@ pub fn eval(
     variant: Variant,
     plan: EtPlanKind,
 ) -> EvalOutcome {
+    // lint: allow(nondeterministic-source): wall-clock timing statistic only;
+    // it lands in the outcome's millis field and never reaches catalog bytes
     let start = Instant::now();
     let work = Work::new();
     let o = orient(q);
@@ -97,7 +99,7 @@ pub fn run_et_plan(
 
     // TopInfo in score order (the index scan at the bottom of Fig. 15).
     let ranked = ctx.catalog.ranked(q.scheme, o.espair);
-    let mut score_of: std::collections::HashMap<TopologyId, f64> = std::collections::HashMap::new();
+    let mut score_of: ts_storage::FastMap<TopologyId, f64> = ts_storage::FastMap::default();
     let mut rows: Vec<Row> = Vec::with_capacity(ranked.len());
     for (tid, score) in ranked {
         if skip_pruned && ctx.catalog.meta(tid).pruned {

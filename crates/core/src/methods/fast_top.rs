@@ -17,6 +17,8 @@ use crate::query::TopologyQuery;
 
 /// Evaluate with this strategy (also reachable via [`crate::methods::Method::eval`]).
 pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
+    // lint: allow(nondeterministic-source): wall-clock timing statistic only;
+    // it lands in the outcome's millis field and never reaches catalog bytes
     let start = Instant::now();
     let work = Work::new();
     let o = orient(q);

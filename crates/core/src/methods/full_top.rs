@@ -24,6 +24,8 @@ use crate::query::TopologyQuery;
 
 /// Evaluate with this strategy (also reachable via [`crate::methods::Method::eval`]).
 pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
+    // lint: allow(nondeterministic-source): wall-clock timing statistic only;
+    // it lands in the outcome's millis field and never reaches catalog bytes
     let start = Instant::now();
     let work = Work::new();
     let tids = distinct_tids(ctx, q, &ctx.catalog.alltops, &work);
@@ -73,7 +75,7 @@ pub(crate) fn distinct_tids(
         // Index plan: σ(from) drives E1-index probes into the tops table.
         let a_ids = crate::methods::common::selected_ids(ctx, o.espair.from, o.con_from, work);
         let b_ids = crate::methods::common::selected_ids(ctx, o.espair.to, o.con_to, work);
-        let mut out = std::collections::HashSet::new();
+        let mut out = ts_storage::FastSet::default();
         for &a in &a_ids {
             work.tick(1); // index probe
             for &rid in tops_table.index_probe(0, &ts_storage::Value::Int(a)) {
@@ -84,7 +86,10 @@ pub(crate) fn distinct_tids(
                 }
             }
         }
-        out.into_iter().collect()
+        // Hash-set order must not leak into the result: sort the ids.
+        let mut v: Vec<crate::catalog::TopologyId> = out.into_iter().collect();
+        v.sort_unstable();
+        v
     } else {
         // Hash plan: Scan(tops) ⋈E1=pk σ(from) ⋈E2=pk σ(to), distinct TID.
         let tops_scan: BoxedOp<'_> =

@@ -18,11 +18,11 @@
 //!   is checked independently against the base data (fresh path
 //!   enumeration per candidate — that is the point of the baseline).
 
-use std::collections::HashSet;
 use std::time::Instant;
 
 use ts_exec::Work;
 use ts_graph::{canonical_code, CanonicalCode, LGraph, SchemaGraph};
+use ts_storage::FastSet;
 
 use crate::catalog::EsPair;
 use crate::methods::common::{orient, selected_ids};
@@ -56,7 +56,7 @@ pub fn enumerate_schema_topologies(
     walks.sort_by(|a, b| (&a.types, &a.rels).cmp(&(&b.types, &b.rels)));
     walks.dedup_by(|a, b| a.types == b.types && a.rels == b.rels);
 
-    let mut seen: HashSet<CanonicalCode> = HashSet::new();
+    let mut seen: FastSet<CanonicalCode> = FastSet::default();
     let mut out = EnumResult { graphs: Vec::new(), total: 0, capped: false };
 
     // Choose subsets of walks of size 1..=max_classes.
@@ -69,7 +69,7 @@ pub fn enumerate_schema_topologies(
         start: usize,
         max_classes: usize,
         subset: &mut Vec<usize>,
-        seen: &mut HashSet<CanonicalCode>,
+        seen: &mut FastSet<CanonicalCode>,
         out: &mut EnumResult,
         cap: usize,
     ) {
@@ -109,7 +109,7 @@ fn glue_all(
     walks: &[ts_graph::schema_graph::SchemaWalk],
     espair: EsPair,
     subset: &[usize],
-    seen: &mut HashSet<CanonicalCode>,
+    seen: &mut FastSet<CanonicalCode>,
     out: &mut EnumResult,
     cap: usize,
 ) {
@@ -134,7 +134,7 @@ fn glue_all(
         walks: &[ts_graph::schema_graph::SchemaWalk],
         espair: EsPair,
         subset: &[usize],
-        seen: &mut HashSet<CanonicalCode>,
+        seen: &mut FastSet<CanonicalCode>,
         out: &mut EnumResult,
         cap: usize,
     ) {
@@ -201,7 +201,8 @@ fn materialize(
                 return b;
             }
             let slot =
-                slots.iter().position(|&(s, p, _)| s == si && p == pos).expect("slot exists");
+                // lint: allow(unwrap-in-lib): the slot was inserted by the loop above
+            slots.iter().position(|&(s, p, _)| s == si && p == pos).expect("slot exists");
             let blk = assignment[slot];
             if let Some(n) = block_nodes[blk] {
                 n
@@ -226,6 +227,8 @@ fn materialize(
 /// The SQL baseline evaluation.
 /// Evaluate with this strategy (also reachable via [`crate::methods::Method::eval`]).
 pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
+    // lint: allow(nondeterministic-source): wall-clock timing statistic only;
+    // it lands in the outcome's millis field and never reaches catalog bytes
     let start = Instant::now();
     let work = Work::new();
     let o = orient(q);
@@ -250,15 +253,18 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
             let paths = ts_graph::paths_from(ctx.graph, &reach, start_node, o.espair.to, q.l);
             work.tick(paths.len() as u64 + 1);
             // Group by destination.
-            let mut by_dest: std::collections::HashMap<u32, Vec<ts_graph::Path>> =
-                std::collections::HashMap::new();
+            let mut by_dest: ts_storage::FastMap<u32, Vec<ts_graph::Path>> =
+                ts_storage::FastMap::default();
             for p in paths {
                 let (_, bnode) = p.endpoints();
                 if b_ids.contains(&ctx.graph.node_entity(bnode)) {
                     by_dest.entry(bnode).or_default().push(p);
                 }
             }
-            for (_bnode, ps) in by_dest {
+            // Deterministic group order: sort by destination node id.
+            let mut groups: Vec<(u32, Vec<ts_graph::Path>)> = by_dest.into_iter().collect();
+            groups.sort_unstable_by_key(|&(b, _)| b);
+            for (_bnode, ps) in groups {
                 let refs: Vec<ts_graph::PathRef<'_>> =
                     ps.iter().map(ts_graph::Path::as_ref).collect();
                 // A fresh memo per group: the SQL baseline deliberately

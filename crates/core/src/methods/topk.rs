@@ -2,10 +2,10 @@
 //! fetch first k — plus, for the Fast variant, the score-gated pruned
 //! sub-queries of SQL4/SQL5.
 
-use std::collections::HashSet;
 use std::time::Instant;
 
 use ts_exec::Work;
+use ts_storage::FastSet;
 
 use crate::catalog::TopologyId;
 use crate::methods::common::{online_path_check, orient, selected_ids, Oriented};
@@ -23,6 +23,8 @@ pub enum Variant {
 
 /// Evaluate with this strategy (also reachable via [`crate::methods::Method::eval`]).
 pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, variant: Variant) -> EvalOutcome {
+    // lint: allow(nondeterministic-source): wall-clock timing statistic only;
+    // it lands in the outcome's millis field and never reaches catalog bytes
     let start = Instant::now();
     let work = Work::new();
     let o = orient(q);
@@ -94,8 +96,8 @@ pub(crate) fn gate_pruned(
     if candidates.is_empty() {
         return 0;
     }
-    let a_ids: HashSet<i64> = selected_ids(ctx, o.espair.from, o.con_from, work);
-    let b_ids: HashSet<i64> = selected_ids(ctx, o.espair.to, o.con_to, work);
+    let a_ids: FastSet<i64> = selected_ids(ctx, o.espair.from, o.con_from, work);
+    let b_ids: FastSet<i64> = selected_ids(ctx, o.espair.to, o.con_to, work);
     let mut checks = 0;
     for (tid, score) in candidates {
         checks += 1;

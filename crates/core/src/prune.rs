@@ -79,6 +79,8 @@ pub fn prune_catalog(catalog: &mut Catalog, opts: PruneOptions) -> PruneReport {
         if !pruned_ids.contains(&tid) {
             lefttops
                 .insert_ints(&[r.as_int(0), r.as_int(1), tid as i64])
+                // lint: allow(unwrap-in-lib): rows are copied from alltops, which
+                // shares the same fixed 3-Int-column schema
                 .expect("copy of valid row");
         }
     }
@@ -96,7 +98,11 @@ pub fn prune_catalog(catalog: &mut Catalog, opts: PruneOptions) -> PruneReport {
         let pruned_sigs: Vec<(u32, TopologyId)> = pruned_ids
             .iter()
             .map(|&tid| {
+                // lint: allow(unwrap-in-lib): the victim filter above requires
+                // path_sig.is_some()
                 let sig = catalog.meta(tid).path_sig.clone().expect("victims are path-shaped");
+                // lint: allow(unwrap-in-lib): every path-shaped topology's signature
+                // was interned when the catalog was built
                 let sig_id = catalog.sig_id(&sig).expect("pruned topology's signature is interned");
                 (sig_id, tid)
             })
@@ -110,6 +116,8 @@ pub fn prune_catalog(catalog: &mut Catalog, opts: PruneOptions) -> PruneReport {
                 if p.sigs.contains(&sig_id) && !p.topos.contains(&tid) {
                     excptops
                         .insert_ints(&[p.e1, p.e2, tid as i64])
+                        // lint: allow(unwrap-in-lib): excptops is rebuilt here with
+                        // the same fixed 3-Int-column schema
                         .expect("excptops schema is fixed");
                     excp_rows += 1;
                 }

@@ -12,7 +12,7 @@
 //! Only the induced *order* matters for the experiments; the substitution
 //! is recorded in DESIGN.md.
 
-use std::collections::HashSet;
+use ts_storage::FastSet;
 
 use crate::catalog::{Catalog, TopologyMeta};
 
@@ -50,7 +50,7 @@ impl DomainScorer {
         let g = &meta.graph;
         let interesting =
             g.edges.iter().filter(|&&(_, _, l)| self.interesting_rels.contains(&l)).count() as f64;
-        let distinct_rels = g.edges.iter().map(|&(_, _, l)| l).collect::<HashSet<_>>().len() as f64;
+        let distinct_rels = g.edges.iter().map(|&(_, _, l)| l).collect::<FastSet<_>>().len() as f64;
         let has_cycle = g.edge_count() >= g.node_count() && g.node_count() > 0;
         let common = (meta.freq.max(1) as f64).log10();
         let mut s = self.w_interesting_edge * interesting

@@ -36,12 +36,15 @@
 //!   [`TopScratch`] + [`PairTops`] pair, so a warm worker computes a
 //!   pair without allocating anything it doesn't keep.
 
+// lint: allow(std-hash-in-hot-path): hasher-generic base type — every
+// instantiation below is HashMap<_, _, S> with S supplied by the caller
 use std::collections::HashMap;
 use std::hash::BuildHasher;
 
 use ts_graph::{
     canonical_code, CanonicalCode, DataGraph, InstanceGraphBuilder, LGraph, PathRef, PathSig,
 };
+use ts_storage::cast;
 use ts_storage::{fast_hash_u16s, FastBuildHasher, FastMap};
 
 /// Guard rails for the Definition-2 representative product.
@@ -131,6 +134,7 @@ impl<S: BuildHasher + Default> CanonMemoH<S> {
         self.misses += 1;
         let code = canonical_code(union);
         bucket.push((union.clone(), code));
+        // lint: allow(unwrap-in-lib): pushed on the previous line; last() is Some
         &bucket.last().expect("just pushed").1
     }
 
@@ -213,7 +217,7 @@ impl SigInterner {
                 return id;
             }
         }
-        let id = self.sigs.len() as u32;
+        let id = cast::to_u32(self.sigs.len());
         ids.push(id);
         self.sigs.push((PathSig(seq.to_vec()), h));
         id
@@ -322,13 +326,13 @@ fn group_classes(g: &DataGraph, paths: &[PathRef<'_>], s: &mut TopScratch) {
     s.sig_off.push(0);
     for p in paths {
         p.sig_extend(g, &mut s.sig_bytes);
-        s.sig_off.push(s.sig_bytes.len() as u32);
+        s.sig_off.push(cast::to_u32(s.sig_bytes.len()));
     }
     let TopScratch { sig_bytes, sig_off, order, class_ranges, .. } = s;
     let sig_of =
         |i: u32| &sig_bytes[sig_off[i as usize] as usize..sig_off[i as usize + 1] as usize];
     order.clear();
-    order.extend(0..paths.len() as u32);
+    order.extend(0..cast::to_u32(paths.len()));
     order.sort_unstable_by(|&a, &b| sig_of(a).cmp(sig_of(b)).then(a.cmp(&b)));
     class_ranges.clear();
     let mut i = 0;
@@ -337,7 +341,7 @@ fn group_classes(g: &DataGraph, paths: &[PathRef<'_>], s: &mut TopScratch) {
         while j < order.len() && sig_of(order[j]) == sig_of(order[i]) {
             j += 1;
         }
-        class_ranges.push((i as u32, j as u32));
+        class_ranges.push((cast::to_u32(i), cast::to_u32(j)));
         i = j;
     }
 }
@@ -663,7 +667,7 @@ mod tests {
                 out.class_ids.iter().map(|&id| sigs.sig(id).clone()).collect();
             assert_eq!(class_sigs, reference.classes, "pair ({a},{b})");
         }
-        assert!(sigs.len() > 0);
+        assert!(!sigs.is_empty());
         // Hash budget: one signature hash per (pair, class) probe, never
         // per path and never per map operation downstream.
         let class_instances: u64 = pp

@@ -13,9 +13,8 @@
 //! paths before topology formation, so weak relationships never enter
 //! the catalog.
 
-use std::collections::HashSet;
-
 use ts_graph::{DataGraph, PathRef, PathSig};
+use ts_storage::FastSet;
 
 /// Build the reversal-normalized signature of a label walk
 /// (`types.len() == rels.len() + 1`).
@@ -26,6 +25,8 @@ pub fn sig_from_labels(types: &[u16], rels: &[u16]) -> PathSig {
         fwd.push(types[i]);
         fwd.push(rels[i]);
     }
+    // lint: allow(unwrap-in-lib): the shape assert above forces
+    // types.len() == rels.len() + 1 >= 1
     fwd.push(*types.last().expect("non-empty walk"));
     PathSig::from_interleaved(fwd)
 }
@@ -33,7 +34,7 @@ pub fn sig_from_labels(types: &[u16], rels: &[u16]) -> PathSig {
 /// A set of path patterns considered weak relationships.
 #[derive(Debug, Clone, Default)]
 pub struct WeakPolicy {
-    banned: HashSet<PathSig>,
+    banned: FastSet<PathSig>,
 }
 
 impl WeakPolicy {

@@ -23,6 +23,8 @@
 //! and index probes — a machine-independent cost figure reported next to
 //! wall-clock time in the benchmark harnesses.
 
+#![forbid(unsafe_code)]
+
 pub mod dgj;
 pub mod driver;
 pub mod join;

@@ -1,5 +1,6 @@
 //! Scan operators: sequential table scan, index lookups, materialized rows.
 
+use ts_storage::cast;
 use ts_storage::{Predicate, Row, Table, Value};
 
 use crate::op::{Operator, Work};
@@ -22,7 +23,7 @@ impl<'a> TableScan<'a> {
 impl Operator for TableScan<'_> {
     fn next(&mut self) -> Option<Row> {
         while self.pos < self.table.len() {
-            let row = self.table.row(self.pos as u32);
+            let row = self.table.row(cast::to_u32(self.pos));
             self.pos += 1;
             self.work.tick(1);
             // The predicate runs on the borrowed columnar view; only a

@@ -19,7 +19,12 @@ struct CountingAlloc;
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 static COUNTING: AtomicBool = AtomicBool::new(false);
 
+// SAFETY: a pure pass-through to `System` — every method forwards its
+// arguments unchanged and returns `System`'s result, so `System`'s own
+// GlobalAlloc guarantees (layout fit, pointer validity) carry over; the
+// added counter work is lock-free atomics and cannot allocate or unwind.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same layout handed straight to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -27,6 +32,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.alloc(layout)
     }
 
+    // SAFETY: ptr/layout/new_size forwarded untouched; the caller's
+    // obligations become `System.realloc`'s preconditions verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if COUNTING.load(Ordering::Relaxed) {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -34,6 +41,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: ptr was produced by `System.alloc`/`realloc` above with
+    // this same layout, exactly what `System.dealloc` requires.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

@@ -21,6 +21,7 @@
 //! inputs (property-tested below).
 
 use crate::lgraph::LGraph;
+use ts_storage::cast;
 
 /// A canonical code: two graphs have equal codes iff they are isomorphic
 /// as labeled multigraphs.
@@ -87,11 +88,11 @@ fn refine(g: &LGraph) -> Vec<u32> {
     let mut colors: Vec<u32> = g
         .labels
         .iter()
-        .map(|l| sorted_labels.binary_search(l).expect("label present") as u32)
+        .map(|l| cast::to_u32(sorted_labels.binary_search(l).expect("label present")))
         .collect();
 
     // Precompute neighbourhoods once.
-    let neigh: Vec<Vec<(u16, u8)>> = (0..n).map(|v| g.neighbors(v as u8)).collect();
+    let neigh: Vec<Vec<(u16, u8)>> = (0..n).map(|v| g.neighbors(cast::to_u8(v))).collect();
 
     loop {
         // Signature per node: (current colour, sorted (elabel, neighbour colour)).
@@ -105,8 +106,10 @@ fn refine(g: &LGraph) -> Vec<u32> {
         let mut distinct: Vec<&(u32, Vec<(u16, u32)>)> = sigs.iter().collect();
         distinct.sort();
         distinct.dedup();
-        let new_colors: Vec<u32> =
-            sigs.iter().map(|s| distinct.binary_search(&s).expect("sig present") as u32).collect();
+        let new_colors: Vec<u32> = sigs
+            .iter()
+            .map(|s| cast::to_u32(distinct.binary_search(&s).expect("sig present")))
+            .collect();
         if new_colors == colors {
             return colors;
         }
@@ -155,7 +158,7 @@ impl Search<'_> {
             (0..n).filter(|&v| !self.used[v] && self.colors[v] == cmin).collect();
 
         for v in candidates {
-            let row = self.row_for(v as u8);
+            let row = self.row_for(cast::to_u8(v));
             let mut child_tight = false;
             if let Some(best) = &self.best {
                 if tight {
@@ -171,7 +174,7 @@ impl Search<'_> {
             let mark = self.code.len();
             self.code.extend_from_slice(&row);
             self.used[v] = true;
-            self.perm.push(v as u8);
+            self.perm.push(cast::to_u8(v));
 
             self.step(child_tight);
 
@@ -186,14 +189,14 @@ impl Search<'_> {
     /// them. Token space: 0 = slot separator, 1 = row end, labels ≥ 2.
     fn row_for(&self, v: u8) -> Vec<u32> {
         let mut row = Vec::with_capacity(2 + self.perm.len());
-        row.push(self.g.labels[v as usize] as u32 + 2);
+        row.push(u32::from(self.g.labels[v as usize]) + 2);
         for &p in &self.perm {
             let mut labels: Vec<u32> = self
                 .g
                 .edges
                 .iter()
                 .filter(|&&(a, b, _)| (a == p && b == v) || (a == v && b == p))
-                .map(|&(_, _, l)| l as u32 + 2)
+                .map(|&(_, _, l)| u32::from(l) + 2)
                 .collect();
             labels.sort_unstable();
             row.push(0);

@@ -1,6 +1,7 @@
 //! The data graph (Fig. 6 of the paper): entities as nodes, relationship
 //! rows as undirected labeled edges.
 
+use ts_storage::cast;
 use ts_storage::FastMap;
 
 use ts_storage::{Database, StorageError, Value};
@@ -44,11 +45,11 @@ impl DataGraph {
                     table: es.name.clone(),
                     detail: "non-integer primary key".into(),
                 })?;
-                let node = g.node_type.len() as NodeId;
-                g.node_type.push(es_id as u16);
+                let node: NodeId = cast::to_u32(g.node_type.len());
+                g.node_type.push(cast::to_u16(es_id));
                 g.node_entity.push(id);
                 g.adj.push(Vec::new());
-                g.index.insert((es_id as u16, id), node);
+                g.index.insert((cast::to_u16(es_id), id), node);
                 g.type_nodes[es_id].push(node);
             }
         }
@@ -67,7 +68,7 @@ impl DataGraph {
                         table: rel.name.clone(),
                         detail: "non-integer foreign key".into(),
                     })?;
-                let u = *g.index.get(&(rel.from as u16, from_id)).ok_or_else(|| {
+                let u = *g.index.get(&(cast::to_u16(rel.from), from_id)).ok_or_else(|| {
                     StorageError::BadDefinition(format!(
                         "{}: dangling fk {} into {}",
                         rel.name,
@@ -75,7 +76,7 @@ impl DataGraph {
                         db.entity_set(rel.from).name
                     ))
                 })?;
-                let v = *g.index.get(&(rel.to as u16, to_id)).ok_or_else(|| {
+                let v = *g.index.get(&(cast::to_u16(rel.to), to_id)).ok_or_else(|| {
                     StorageError::BadDefinition(format!(
                         "{}: dangling fk {} into {}",
                         rel.name,
@@ -84,8 +85,9 @@ impl DataGraph {
                     ))
                 })?;
                 if u != v {
-                    g.adj[u as usize].push((rid as u16, v));
-                    g.adj[v as usize].push((rid as u16, u));
+                    let rid16 = cast::to_u16(rid);
+                    g.adj[u as usize].push((rid16, v));
+                    g.adj[v as usize].push((rid16, u));
                 }
             }
         }

@@ -8,6 +8,8 @@
 
 use std::fmt;
 
+use ts_storage::cast;
+
 /// A small labeled undirected multigraph.
 ///
 /// Node indices are `u8` — topology graphs never approach 256 nodes; the
@@ -30,7 +32,7 @@ impl LGraph {
     pub fn add_node(&mut self, label: u16) -> u8 {
         assert!(self.labels.len() < u8::MAX as usize, "topology graph too large");
         self.labels.push(label);
-        (self.labels.len() - 1) as u8
+        cast::to_u8(self.labels.len() - 1)
     }
 
     /// Add an undirected edge; endpoint order is normalized. Duplicate
@@ -85,7 +87,7 @@ impl LGraph {
         assert_eq!(perm.len(), self.labels.len());
         let mut inv = vec![0u8; perm.len()];
         for (new, &old) in perm.iter().enumerate() {
-            inv[old as usize] = new as u8;
+            inv[old as usize] = cast::to_u8(new);
         }
         let mut g = LGraph {
             labels: perm.iter().map(|&old| self.labels[old as usize]).collect(),

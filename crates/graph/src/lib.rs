@@ -15,6 +15,8 @@
 //! * small **labeled multigraphs** and union-building from paths
 //!   ([`lgraph`]), plus ASCII [`render`]ing of topology structures.
 
+#![forbid(unsafe_code)]
+
 pub mod canon;
 pub mod data_graph;
 pub mod fixtures;

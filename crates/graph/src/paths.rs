@@ -17,6 +17,7 @@
 
 use crate::data_graph::{DataGraph, NodeId};
 use crate::schema_graph::SchemaGraph;
+use ts_storage::cast;
 use ts_storage::FastMap;
 
 /// An owned instance-level simple path. `nodes.len() == rels.len() + 1`.
@@ -249,7 +250,7 @@ impl PathArena {
         debug_assert_eq!(nodes.len(), rels.len() + 1, "path shape");
         self.nodes.extend_from_slice(nodes);
         self.rels.extend_from_slice(rels);
-        self.off.push(self.nodes.len() as u32);
+        self.off.push(cast::to_u32(self.nodes.len()));
     }
 
     /// Borrowing view of path `i`.
@@ -399,7 +400,7 @@ impl PathSink for PairSink {
             // keep the a < b orientation only.
             return;
         }
-        let idx = self.arena.len() as u32;
+        let idx = cast::to_u32(self.arena.len());
         self.arena.push(nodes, rels);
         self.map.entry((s, e)).or_default().push(idx);
     }

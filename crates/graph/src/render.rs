@@ -7,6 +7,7 @@
 //! label then index) and each edge on its own line.
 
 use crate::lgraph::LGraph;
+use ts_storage::cast;
 
 /// Render a labeled graph as an edge list, resolving label names through
 /// the provided lookup functions.
@@ -74,8 +75,8 @@ fn path_order(g: &LGraph) -> Option<Vec<u8>> {
     if n == 0 || g.edge_count() != n - 1 {
         return None;
     }
-    let degs: Vec<usize> = (0..n).map(|v| g.degree(v as u8)).collect();
-    let ends: Vec<u8> = (0..n).filter(|&v| degs[v] == 1).map(|v| v as u8).collect();
+    let degs: Vec<usize> = (0..n).map(|v| g.degree(cast::to_u8(v))).collect();
+    let ends: Vec<u8> = (0..n).filter(|&v| degs[v] == 1).map(cast::to_u8).collect();
     if n == 1 {
         return Some(vec![0]);
     }

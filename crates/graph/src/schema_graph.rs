@@ -12,6 +12,7 @@
 //!   the target set within r edges", used to prune the instance-level
 //!   DFS in [`crate::paths`] to exactly the walks that could complete.
 
+use ts_storage::cast;
 use ts_storage::Database;
 
 /// A walk at the schema level: `types.len() == rels.len() + 1`.
@@ -49,9 +50,10 @@ impl SchemaGraph {
         let n_types = db.entity_sets().len();
         let mut adj: Vec<Vec<(u16, u16)>> = vec![Vec::new(); n_types];
         for (rid, rel) in db.rel_sets().iter().enumerate() {
-            adj[rel.from].push((rid as u16, rel.to as u16));
+            let rid16 = cast::to_u16(rid);
+            adj[rel.from].push((rid16, cast::to_u16(rel.to)));
             if rel.from != rel.to {
-                adj[rel.to].push((rid as u16, rel.from as u16));
+                adj[rel.to].push((rid16, cast::to_u16(rel.from)));
             }
         }
         for a in &mut adj {

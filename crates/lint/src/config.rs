@@ -1,0 +1,143 @@
+//! Per-crate rule configuration, loaded from `ts-lint.toml`.
+//!
+//! The format is a strict, hand-parsed TOML subset (this crate is
+//! dependency-free): `[skip]` with a `dirs` list of repo-relative
+//! directories never scanned, and one `[rules.<name>]` section per rule
+//! with a `crates` list (crate names the rule is enforced in, `"*"` for
+//! all) and an optional `include-tests` boolean (default `false`; rules
+//! with it set also run in `tests/`, `benches/`, `examples/`, and
+//! inline `#[cfg(test)]` modules).
+
+use std::collections::BTreeMap;
+
+/// Scope of one rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuleScope {
+    /// Crate names the rule is enforced in; `"*"` matches every crate.
+    pub crates: Vec<String>,
+    /// When true the rule also runs in test/bench/example code.
+    pub include_tests: bool,
+}
+
+impl RuleScope {
+    /// True when the rule covers `crate_name`.
+    pub fn covers(&self, crate_name: &str) -> bool {
+        self.crates.iter().any(|c| c == "*" || c == crate_name)
+    }
+}
+
+/// Whole-workspace lint configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Repo-relative directories to skip entirely.
+    pub skip_dirs: Vec<String>,
+    /// Rule name → scope. Rules absent here never fire. A `BTreeMap`
+    /// on purpose: the linter holds itself to the determinism
+    /// discipline it enforces, so every iteration in this crate is
+    /// over ordered containers.
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+impl Config {
+    /// Parse the `ts-lint.toml` subset. Errors carry the 1-based line.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let n = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                section = name.trim().to_string();
+                if let Some(rule) = section.strip_prefix("rules.") {
+                    cfg.rules.entry(rule.to_string()).or_default();
+                } else if section != "skip" {
+                    return Err(format!("line {n}: unknown section [{section}]"));
+                }
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| format!("line {n}: expected `key = value`"))?;
+            match (section.as_str(), key) {
+                ("skip", "dirs") => cfg.skip_dirs = parse_list(value, n)?,
+                (s, "crates") if s.starts_with("rules.") => {
+                    let rule = s.trim_start_matches("rules.").to_string();
+                    cfg.rules.entry(rule).or_default().crates = parse_list(value, n)?;
+                }
+                (s, "include-tests") if s.starts_with("rules.") => {
+                    let rule = s.trim_start_matches("rules.").to_string();
+                    cfg.rules.entry(rule).or_default().include_tests = parse_bool(value, n)?;
+                }
+                _ => return Err(format!("line {n}: unknown key `{key}` in section [{section}]")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Strip a trailing `#` comment (the subset allows none inside strings).
+fn strip_comment(line: &str) -> &str {
+    line.split('#').next().unwrap_or(line)
+}
+
+/// Parse `["a", "b"]`.
+fn parse_list(value: &str, n: usize) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("line {n}: expected a [\"...\"] list"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        let unquoted = item
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .ok_or_else(|| format!("line {n}: list items must be double-quoted"))?;
+        out.push(unquoted.to_string());
+    }
+    Ok(out)
+}
+
+/// Parse `true` / `false`.
+fn parse_bool(value: &str, n: usize) -> Result<bool, String> {
+    match value {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        _ => Err(format!("line {n}: expected true or false, got `{value}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_lists_and_bools() {
+        let cfg = Config::parse(
+            "# comment\n[skip]\ndirs = [\"target\", \"vendor\"]\n\n\
+             [rules.unwrap-in-lib]\ncrates = [\"ts-core\"]\n\
+             [rules.undocumented-unsafe]\ncrates = [\"*\"]\ninclude-tests = true\n",
+        )
+        .unwrap();
+        assert_eq!(cfg.skip_dirs, vec!["target", "vendor"]);
+        assert!(cfg.rules["unwrap-in-lib"].covers("ts-core"));
+        assert!(!cfg.rules["unwrap-in-lib"].covers("ts-graph"));
+        assert!(cfg.rules["undocumented-unsafe"].covers("anything"));
+        assert!(cfg.rules["undocumented-unsafe"].include_tests);
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_keys() {
+        assert!(Config::parse("[mystery]\n").is_err());
+        assert!(Config::parse("[skip]\nfiles = []\n").is_err());
+        assert!(Config::parse("[rules.x]\ncrates = nope\n").is_err());
+        assert!(Config::parse("[rules.x]\ninclude-tests = maybe\n").is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # ts-lint
+//!
+//! Workspace determinism & safety lints for topology-search.
+//!
+//! The repo's core guarantee — byte-identical catalogs across
+//! serial/parallel builds and across hash seeds — is enforced
+//! dynamically by the differential test lattice. This crate enforces it
+//! *statically*: a dependency-free, hand-rolled Rust lexer
+//! ([`source`]) feeds a rule engine ([`rules`], [`engine`]) that flags
+//! the source patterns those tests exist to catch — unordered-map
+//! iteration feeding output, std's seeded SipHash in hot paths,
+//! wall-clock/RNG in catalog construction, silent narrowing casts in
+//! offset math, panics in library code, and undocumented `unsafe`.
+//!
+//! Run it over the workspace with:
+//!
+//! ```text
+//! cargo run -p ts-lint --release -- .
+//! ```
+//!
+//! Scope is configured per crate in `ts-lint.toml` ([`config`]), and a
+//! finding is silenced inline with an allow directive that must carry a
+//! reason (`lint: allow(<rule>): <reason>` in a `//` comment on, or
+//! directly above, the offending line). Directives are themselves
+//! linted: a missing reason or unknown rule is `bad-allow`, and a
+//! directive that suppresses nothing is `unused-allow`, so the
+//! suppression inventory can never rot silently.
+//!
+//! The linter holds itself to the discipline it enforces: every
+//! container it iterates for output is ordered (`BTreeMap`, sorted
+//! `Vec`), so its reports are byte-identical run to run.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod rules;
+pub mod source;
+
+pub use config::{Config, RuleScope};
+pub use engine::{Finding, Linter, Report};
+pub use rules::{FileCtx, FileKind, RuleInfo, Violation, RULES};
+pub use source::{Allow, SourceFile};

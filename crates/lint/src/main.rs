@@ -1,0 +1,99 @@
+//! `ts-lint` CLI: lint the workspace, exit nonzero on findings.
+//!
+//! ```text
+//! ts-lint [--config <path>] [--list-rules] [ROOT]
+//! ```
+//!
+//! `ROOT` defaults to `.` and the config to `ROOT/ts-lint.toml`.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use ts_lint::{Config, Linter, RULES};
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut list_rules = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list-rules" => list_rules = true,
+            "--config" => match args.next() {
+                Some(p) => config_path = Some(PathBuf::from(p)),
+                None => return usage("--config needs a path"),
+            },
+            "--help" | "-h" => return usage(""),
+            _ if arg.starts_with('-') => return usage(&format!("unknown flag {arg}")),
+            _ => root = PathBuf::from(arg),
+        }
+    }
+
+    if list_rules {
+        for rule in RULES {
+            println!("{:<24} {}", rule.name, rule.summary);
+        }
+        let meta = [
+            ("bad-allow", "allow directive without a reason, or naming an unknown rule"),
+            ("unused-allow", "allow directive that suppresses nothing"),
+        ];
+        for (name, summary) in meta {
+            println!("{name:<24} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("ts-lint.toml"));
+    let config = match load_config(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("ts-lint: {}: {e}", config_path.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let linter = Linter::new(config);
+    match linter.lint_workspace(&root) {
+        Ok(report) => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            if report.is_clean() {
+                println!("ts-lint: clean ({} files)", report.files);
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "ts-lint: {} finding(s) in {} scanned file(s)",
+                    report.findings.len(),
+                    report.files
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("ts-lint: scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Read and parse the config file.
+fn load_config(path: &Path) -> Result<Config, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    Config::parse(&text)
+}
+
+/// Print usage; nonzero exit unless invoked via `--help`.
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("ts-lint: {err}");
+    }
+    eprintln!("usage: ts-lint [--config <path>] [--list-rules] [ROOT]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}

@@ -1,0 +1,41 @@
+// Must-NOT-fire corpus for `narrowing-cast`: checked helpers, infallible
+// widenings, tricky spans, test code, and a justified allow.
+
+use ts_storage::cast;
+
+fn checked(buf: &[u8]) -> u32 {
+    cast::to_u32(buf.len())
+}
+
+fn widening(x: u16) -> u32 {
+    u32::from(x)
+}
+
+fn widening_as_is_fine(x: u32) -> u64 {
+    // `as` to a wider or same-width type never truncates.
+    x as u64
+}
+
+fn to_usize_is_fine(x: u32) -> usize {
+    x as usize
+}
+
+fn spans_do_not_fire() -> &'static str {
+    // A comment can say `len as u32` without firing.
+    "and a string can too: n as u16"
+}
+
+fn justified(n: usize) -> u8 {
+    // lint: allow(narrowing-cast): n is a topology-graph node index,
+    // asserted < 256 by LGraph::add_node
+    n as u8
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_cast_freely() {
+        let n: usize = 300;
+        assert_eq!(n as u8, 44);
+    }
+}

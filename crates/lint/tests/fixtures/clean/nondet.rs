@@ -1,0 +1,32 @@
+// Must-NOT-fire corpus for `nondeterministic-source`: seeds plumbed in
+// from the caller, tricky spans, test code, and a justified allow.
+
+use std::time::Instant;
+
+fn seeded(seed: u64) -> u64 {
+    // Deterministic: the caller owns the seed; no ambient entropy.
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+fn spans_do_not_fire() -> &'static str {
+    // A comment may say Instant::now or thread_rng without firing.
+    "and so may a string: Instant::now() / SystemTime::now()"
+}
+
+fn justified() -> f64 {
+    // lint: allow(nondeterministic-source): timing statistic only; the
+    // elapsed value is reported, never written into catalog bytes
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Instant;
+
+    #[test]
+    fn test_code_may_read_the_clock() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_secs_f64() >= 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+// Must-NOT-fire corpus for `std-hash-in-hot-path`: the fast aliases,
+// tricky spans, test code, and a justified allow.
+
+use ts_storage::{FastMap, FastSet};
+
+fn build(n: u32) -> FastMap<u32, u32> {
+    let mut m = FastMap::default();
+    for i in 0..n {
+        m.insert(i, i * 2);
+    }
+    m
+}
+
+fn spans_do_not_fire() -> &'static str {
+    // Mentioning std::collections::HashMap in a comment is fine.
+    "and std::collections::HashSet inside a string literal is data"
+}
+
+// lint: allow(std-hash-in-hot-path): seeded-map differential test needs
+// the std type to exercise SipHash against the fast hasher
+use std::collections::HashMap;
+
+fn compare(m: &HashMap<u32, u32>, f: &FastMap<u32, u32>) -> bool {
+    m.len() == f.len()
+}
+
+fn dedup(xs: &[u64]) -> usize {
+    let s: FastSet<u64> = xs.iter().copied().collect();
+    s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_std_maps() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

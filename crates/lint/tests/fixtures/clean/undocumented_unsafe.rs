@@ -1,0 +1,30 @@
+// Must-NOT-fire corpus for `undocumented-unsafe`: every unsafe states
+// its invariant, on the line or in a comment block directly above.
+
+// SAFETY: the caller must pass a pointer to a live, aligned u32; this
+// function adds no requirements of its own.
+unsafe fn raw_read(p: *const u32) -> u32 {
+    *p
+}
+
+fn same_line(p: *const u32) -> u32 {
+    unsafe { raw_read(p) } // SAFETY: p comes from a pinned local below
+}
+
+fn block_above(x: &u32) -> u32 {
+    // SAFETY: a reference is always a valid, aligned, live pointer to
+    // its referent, so reading through the derived raw pointer is sound.
+    // This comment block spans several lines and still counts because
+    // it touches the unsafe line without interleaving code.
+    unsafe { raw_read(x as *const u32) }
+}
+
+struct Wrapper(u64);
+
+// SAFETY: Wrapper owns a plain u64 with no thread affinity.
+unsafe impl Send for Wrapper {}
+
+fn spans_do_not_fire() -> &'static str {
+    // The word unsafe in prose, or in a string, is not an unsafe block.
+    "unsafe as data"
+}

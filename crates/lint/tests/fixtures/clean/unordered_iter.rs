@@ -1,0 +1,44 @@
+// Must-NOT-fire corpus for `unordered-iter`: sorted results,
+// order-insensitive reductions, tricky spans, and a justified allow.
+
+use ts_storage::{FastMap, FastSet};
+
+fn sorted_before_observable(m: &FastMap<u32, u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = m.keys().copied().collect();
+    out.sort_unstable();
+    out
+}
+
+fn order_insensitive_reduction(m: &FastMap<u32, u64>) -> u64 {
+    m.values().sum()
+}
+
+fn counting_is_fine(s: &FastSet<u64>) -> usize {
+    s.iter().count()
+}
+
+fn spans_do_not_fire(m: &FastMap<u32, u32>) -> usize {
+    // Prose mentioning m.iter() in a comment is not code.
+    let msg = "neither is m.iter() inside a string literal";
+    msg.len() + m.len()
+}
+
+fn justified(m: &FastMap<u32, u32>) -> u64 {
+    let mut acc = 0;
+    // lint: allow(unordered-iter): xor-accumulation is order-insensitive
+    for (_k, v) in m.iter() {
+        acc ^= u64::from(*v);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let m: FastMap<u32, u32> = FastMap::default();
+        for (_k, _v) in m.iter() {}
+    }
+}

@@ -1,0 +1,38 @@
+// Must-NOT-fire corpus for `unwrap-in-lib`: error propagation, tricky
+// spans, test code, and a justified allow.
+
+#[derive(Debug)]
+struct EmptyInput;
+
+fn propagating(xs: &[u32]) -> Result<u32, EmptyInput> {
+    xs.first().copied().ok_or(EmptyInput)
+}
+
+fn chaining(m: Option<u32>) -> Option<u32> {
+    let v = m?;
+    Some(v + 1)
+}
+
+/// Doc prose may say `.unwrap()` or `panic!(...)` without firing.
+fn spans_do_not_fire() -> usize {
+    let msg = "strings may contain .unwrap() and panic!( too";
+    msg.len()
+}
+
+fn justified(xs: &mut Vec<u32>) -> u32 {
+    xs.push(7);
+    // lint: allow(unwrap-in-lib): xs is non-empty — pushed on the
+    // previous line
+    *xs.last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let xs = vec![1u32, 2];
+        assert_eq!(*xs.first().unwrap(), 1);
+        let n: Option<u32> = Some(3);
+        assert_eq!(n.expect("is some"), 3);
+    }
+}

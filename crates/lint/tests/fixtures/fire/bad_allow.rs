@@ -1,0 +1,11 @@
+// Must-fire corpus for the `bad-allow` meta rule: directives naming an
+// unknown rule, or carrying no written reason.
+
+fn unknown_rule(xs: &[u32]) -> u32 {
+    // lint: allow(no-such-rule): the rule name is wrong //~ FIRE bad-allow
+    xs.len() as u32
+}
+
+fn missing_reason(xs: &[u32]) -> u32 {
+    xs.len() as u32 // lint: allow(narrowing-cast) //~ FIRE bad-allow
+}

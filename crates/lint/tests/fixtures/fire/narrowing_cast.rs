@@ -1,0 +1,22 @@
+// Must-fire corpus for `narrowing-cast`: bare `as` casts to narrow
+// integer types.
+
+fn offsets(buf: &[u8]) -> u32 {
+    buf.len() as u32 //~ FIRE narrowing-cast
+}
+
+fn type_id(n: usize) -> u16 {
+    n as u16 //~ FIRE narrowing-cast
+}
+
+fn node_index(v: usize) -> u8 {
+    v as u8 //~ FIRE narrowing-cast
+}
+
+fn signed_too(x: i64) -> i32 {
+    x as i32 //~ FIRE narrowing-cast
+}
+
+fn mid_expression(xs: &[u64], i: usize) -> u32 {
+    xs[i] as u32 + 1 //~ FIRE narrowing-cast
+}

@@ -1,0 +1,22 @@
+// Must-fire corpus for `nondeterministic-source`: clocks and RNG in
+// catalog-construction code.
+
+use std::time::{Instant, SystemTime};
+
+fn timed_build() -> f64 {
+    let start = Instant::now(); //~ FIRE nondeterministic-source
+    start.elapsed().as_secs_f64()
+}
+
+fn wall_clock_stamp() -> SystemTime {
+    SystemTime::now() //~ FIRE nondeterministic-source
+}
+
+fn random_seed() -> u64 {
+    let mut rng = rand::thread_rng(); //~ FIRE nondeterministic-source
+    rng.next_u64()
+}
+
+fn ambient_state() -> std::collections::hash_map::RandomState {
+    std::collections::hash_map::RandomState::new() //~ FIRE nondeterministic-source
+}

@@ -1,0 +1,20 @@
+// Must-fire corpus for `std-hash-in-hot-path`: std's seeded SipHash
+// maps in library code of a hot-path crate.
+
+use std::collections::HashMap; //~ FIRE std-hash-in-hot-path
+use std::collections::{
+    HashSet, //~ FIRE std-hash-in-hot-path
+};
+
+fn build(n: u32) -> HashMap<u32, u32> {
+    let mut m = std::collections::HashMap::new(); //~ FIRE std-hash-in-hot-path
+    for i in 0..n {
+        m.insert(i, i * 2);
+    }
+    m
+}
+
+fn dedup(xs: &[u64]) -> usize {
+    let s: HashSet<u64> = xs.iter().copied().collect();
+    s.len()
+}

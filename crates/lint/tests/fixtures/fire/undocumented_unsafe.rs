@@ -1,0 +1,15 @@
+// Must-fire corpus for `undocumented-unsafe`: unsafe without a stated
+// soundness argument.
+
+unsafe fn raw_read(p: *const u32) -> u32 { //~ FIRE undocumented-unsafe
+    *p
+}
+
+fn caller(p: *const u32) -> u32 {
+    // A plain comment without the magic marker does not count.
+    unsafe { raw_read(p) } //~ FIRE undocumented-unsafe
+}
+
+struct Wrapper(u64);
+
+unsafe impl Send for Wrapper {} //~ FIRE undocumented-unsafe

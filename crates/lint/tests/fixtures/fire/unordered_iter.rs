@@ -1,0 +1,29 @@
+// Must-fire corpus for `unordered-iter`: iterating a hash map/set with
+// no sort or order-insensitive reduction in sight.
+
+use ts_storage::{FastMap, FastSet};
+
+fn leak_keys(m: &FastMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for (k, _v) in m.iter() { //~ FIRE unordered-iter
+        out.push(*k);
+    }
+    out
+}
+
+fn consume_whole_map(m: FastMap<u32, u32>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, v) in m { //~ FIRE unordered-iter
+        out.push(u64::from(k) + u64::from(v));
+    }
+    out
+}
+
+fn collect_values(seen: &mut FastSet<u64>) -> Vec<u64> {
+    seen.iter().copied().collect() //~ FIRE unordered-iter
+}
+
+fn std_maps_fire_too(m: &std::collections::HashMap<u32, u32>) -> Vec<u32> {
+    let tmp: Vec<u32> = m.keys().copied().collect(); //~ FIRE unordered-iter
+    tmp
+}

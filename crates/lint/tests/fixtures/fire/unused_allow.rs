@@ -1,0 +1,12 @@
+// Must-fire corpus for the `unused-allow` meta rule: directives that
+// suppress nothing.
+
+fn nothing_to_suppress(xs: &[u32]) -> usize {
+    // lint: allow(unwrap-in-lib): stale — the unwrap was refactored away //~ FIRE unused-allow
+    xs.len()
+}
+
+fn wrong_rule_for_the_line(m: Option<u32>) -> u32 {
+    // lint: allow(narrowing-cast): there is no cast here, only an unwrap //~ FIRE unused-allow
+    m.expect("suppressed by nothing") //~ FIRE unwrap-in-lib
+}

@@ -1,0 +1,19 @@
+// Must-fire corpus for `unwrap-in-lib`: aborts in library code.
+
+fn unchecked(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() //~ FIRE unwrap-in-lib
+}
+
+fn trusting(m: Option<u32>) -> u32 {
+    m.expect("caller promised Some") //~ FIRE unwrap-in-lib
+}
+
+fn aborting(kind: u8) -> &'static str {
+    match kind {
+        0 => "zero",
+        1 => panic!("one is not supported"), //~ FIRE unwrap-in-lib
+        2 => unreachable!("twos were filtered upstream"), //~ FIRE unwrap-in-lib
+        3 => todo!(), //~ FIRE unwrap-in-lib
+        _ => unimplemented!(), //~ FIRE unwrap-in-lib
+    }
+}

@@ -21,6 +21,8 @@
 //! relations described by cardinalities, selectivities and probe costs,
 //! so it is reusable for the broader SQL6 query class of §5.4.
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod planner;
 

@@ -1,0 +1,52 @@
+//! Checked narrowing casts for index/offset math.
+//!
+//! CSR offsets, interner ids, and column positions are stored narrow
+//! (`u32`/`u16`/`u8`) but computed wide (`usize`). A bare `value as u32`
+//! truncates silently when the invariant ("this buffer never exceeds
+//! 4 GiB of entries") is violated; these helpers make the invariant
+//! explicit. Debug builds assert the value is in range, release builds
+//! compile down to the same raw cast — zero cost on the hot path.
+//!
+//! The `ts-lint` `narrowing-cast` rule points offenders here; the raw
+//! casts inside each helper are the single allowed occurrence.
+
+/// `usize` → `u32`, asserting the value fits in debug builds.
+#[inline(always)]
+pub fn to_u32(v: usize) -> u32 {
+    debug_assert!(v <= u32::MAX as usize, "to_u32: {v} exceeds u32::MAX");
+    v as u32 // lint: allow(narrowing-cast): range checked by the debug_assert above
+}
+
+/// `usize` → `u16`, asserting the value fits in debug builds.
+#[inline(always)]
+pub fn to_u16(v: usize) -> u16 {
+    debug_assert!(v <= u16::MAX as usize, "to_u16: {v} exceeds u16::MAX");
+    v as u16 // lint: allow(narrowing-cast): range checked by the debug_assert above
+}
+
+/// `usize` → `u8`, asserting the value fits in debug builds.
+#[inline(always)]
+pub fn to_u8(v: usize) -> u8 {
+    debug_assert!(v <= u8::MAX as usize, "to_u8: {v} exceeds u8::MAX");
+    v as u8 // lint: allow(narrowing-cast): range checked by the debug_assert above
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_range_values_round_trip() {
+        assert_eq!(to_u32(0), 0);
+        assert_eq!(to_u32(u32::MAX as usize), u32::MAX);
+        assert_eq!(to_u16(u16::MAX as usize), u16::MAX);
+        assert_eq!(to_u8(255), 255);
+    }
+
+    #[test]
+    #[should_panic(expected = "to_u8")]
+    #[cfg(debug_assertions)]
+    fn out_of_range_panics_in_debug() {
+        let _ = to_u8(256);
+    }
+}

@@ -77,7 +77,7 @@ impl StrPool {
         if let Some(&id) = self.index.get(s.as_ref() as &str) {
             return id;
         }
-        let id = self.strings.len() as u32;
+        let id = crate::cast::to_u32(self.strings.len());
         self.strings.push(Arc::clone(s));
         self.index.insert(Arc::clone(s), id);
         id
@@ -191,6 +191,8 @@ impl ColumnStore {
                     ids.push(0);
                     nulls.push(i, true);
                 }
+                // lint: allow(unwrap-in-lib): Table::insert validated the row
+                // against the schema; a mismatch here is memory corruption, not input
                 (col, v) => panic!("column {c} ({col:?}) cannot hold {v:?}"),
             }
         }
@@ -209,6 +211,8 @@ impl ColumnStore {
                     vals.push(v);
                     nulls.push(i, false);
                 }
+                // lint: allow(unwrap-in-lib): documented contract — the table checks
+                // the schema is all-Int before taking the fast lane
                 other => panic!("push_ints into non-Int column {c} ({other:?})"),
             }
         }
@@ -381,7 +385,7 @@ impl ColumnStore {
             .iter()
             .enumerate()
             .filter(|&(_, &c)| c > 0)
-            .map(|(id, &c)| (self.pool.get(id as u32), c))
+            .map(|(id, &c)| (self.pool.get(crate::cast::to_u32(id)), c))
             .collect()
     }
 
@@ -434,6 +438,8 @@ impl<'a> RowRef<'a> {
     pub fn as_int(&self, col: usize) -> i64 {
         match self.store.cell(col, self.id) {
             Cell::Int(v) => v,
+            // lint: allow(unwrap-in-lib): typed-accessor contract; try_int is the
+            // non-panicking sibling for schema-unaware callers
             other => panic!("expected Int cell at column {col}, found {other:?}"),
         }
     }
@@ -451,6 +457,8 @@ impl<'a> RowRef<'a> {
     pub fn as_str(&self, col: usize) -> &'a str {
         match self.store.cell(col, self.id) {
             Cell::Str(s) => s,
+            // lint: allow(unwrap-in-lib): typed-accessor contract; try_str is the
+            // non-panicking sibling for schema-unaware callers
             other => panic!("expected Str cell at column {col}, found {other:?}"),
         }
     }

@@ -6,9 +6,8 @@
 //! ER-level declarations (Fig. 1) that `ts-graph` turns into the schema
 //! graph and data graph (Fig. 6).
 
-use std::collections::HashMap;
-
 use crate::error::StorageError;
+use crate::hash::FastMap;
 use crate::schema::{ColumnId, TableId, TableSchema};
 use crate::table::Table;
 
@@ -51,7 +50,7 @@ pub struct RelSetDef {
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: Vec<Table>,
-    names: HashMap<String, TableId>,
+    names: FastMap<String, TableId>,
     entity_sets: Vec<EntitySetDef>,
     rel_sets: Vec<RelSetDef>,
 }

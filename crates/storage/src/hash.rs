@@ -20,6 +20,8 @@
 //! contract by rebuilding the catalog under randomly-seeded SipHash and
 //! asserting byte identity.
 
+// lint: allow(std-hash-in-hot-path): this module defines the FastMap/FastSet
+// aliases; std's HashMap is the base type being re-seeded, not a use of SipHash
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -56,11 +58,13 @@ impl Hasher for FastHasher {
         let mut rest = bytes;
         while rest.len() >= 8 {
             let (head, tail) = rest.split_at(8);
+            // lint: allow(unwrap-in-lib): split_at(8) just made head exactly 8 bytes
             self.add(u64::from_le_bytes(head.try_into().expect("8-byte chunk")));
             rest = tail;
         }
         if rest.len() >= 4 {
             let (head, tail) = rest.split_at(4);
+            // lint: allow(unwrap-in-lib): split_at(4) just made head exactly 4 bytes
             self.add(u32::from_le_bytes(head.try_into().expect("4-byte chunk")) as u64);
             rest = tail;
         }

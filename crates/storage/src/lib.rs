@@ -25,6 +25,9 @@
 //! Everything is deliberately simple, deterministic and allocation-aware;
 //! the point is a faithful, inspectable substrate, not a general DBMS.
 
+#![forbid(unsafe_code)]
+
+pub mod cast;
 pub mod column;
 pub mod db;
 pub mod error;

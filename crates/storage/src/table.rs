@@ -100,6 +100,8 @@ impl Table {
             }
             pk_index.insert(key.clone(), id);
         }
+        // lint: allow(unordered-iter): each index is updated independently;
+        // visit order cannot reach any observable state
         for (&col, idx) in self.secondary.iter_mut() {
             idx.insert(row.get(col).clone(), id);
         }
@@ -139,6 +141,8 @@ impl Table {
             }
             pk_index.insert(key, id);
         }
+        // lint: allow(unordered-iter): each index is updated independently;
+        // visit order cannot reach any observable state
         for (&col, idx) in self.secondary.iter_mut() {
             idx.insert(Value::Int(vals[col]), id);
         }
@@ -231,6 +235,8 @@ impl Table {
     pub fn index_probe(&self, col: ColumnId, key: &Value) -> &[RowId] {
         self.secondary
             .get(&col)
+            // lint: allow(unwrap-in-lib): documented contract ("must exist") —
+            // probing a column never indexed is a programming error, not data
             .unwrap_or_else(|| panic!("no index on column {col} of {}", self.schema.name))
             .probe(key)
     }
@@ -253,10 +259,7 @@ impl Table {
 
     /// Refresh statistics (one pass). Idempotent until the next insert.
     pub fn analyze(&mut self) -> &TableStats {
-        if self.stats.is_none() {
-            self.stats = Some(TableStats::collect(&self.schema, &self.store));
-        }
-        self.stats.as_ref().expect("just set")
+        self.stats.get_or_insert_with(|| TableStats::collect(&self.schema, &self.store))
     }
 
     /// Cached statistics, if [`Table::analyze`] has run since the last insert.
@@ -297,7 +300,8 @@ impl Table {
             }
             self.pk_index = Some(idx);
         }
-        let cols: Vec<ColumnId> = self.secondary.keys().copied().collect();
+        let mut cols: Vec<ColumnId> = self.secondary.keys().copied().collect();
+        cols.sort_unstable();
         for c in cols {
             self.create_index_bulk(c);
         }

@@ -56,6 +56,8 @@
 //! assert!(!outcome.topologies.is_empty());
 //! ```
 
+#![forbid(unsafe_code)]
+
 /// In-memory relational substrate.
 pub use ts_storage as storage;
 
