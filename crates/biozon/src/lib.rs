@@ -34,4 +34,4 @@ pub mod workload;
 
 pub use config::BiozonConfig;
 pub use generate::{generate, Biozon, SchemaIds};
-pub use workload::{domain_scorer, selectivity_predicate, weak_policy_l4, Selectivity};
+pub use workload::{domain_scorer, query_mix, selectivity_predicate, weak_policy_l4, Selectivity};

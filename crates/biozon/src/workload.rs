@@ -1,7 +1,8 @@
 //! Experiment workloads: the Table-2 selectivity grid, the Biozon domain
-//! scorer, and the Appendix-B weak-relationship policy.
+//! scorer, the Appendix-B weak-relationship policy, and the serving-mix
+//! generator the `ts-server` stress harness replays.
 
-use ts_core::{DomainScorer, WeakPolicy};
+use ts_core::{DomainScorer, RankScheme, TopologyQuery, WeakPolicy};
 use ts_storage::Predicate;
 
 use crate::generate::{SchemaIds, KW_MEDIUM, KW_SELECTIVE, KW_UNSELECTIVE};
@@ -53,6 +54,65 @@ pub fn selectivity_predicate(sel: Selectivity) -> Predicate {
         Selectivity::Unselective => KW_UNSELECTIVE,
     };
     Predicate::contains(1, kw)
+}
+
+/// SplitMix64 step: the workload stream must be deterministic in the
+/// seed and independent of any crate-level RNG state.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A constraint for one query endpoint: DNA draws from its `type`
+/// column (Example 2.1's `type = 'mRNA'`), everything else from the
+/// Table-2 selectivity keywords on its `desc` column, with
+/// unconstrained endpoints mixed in.
+fn endpoint_constraint(es: u16, ids: &SchemaIds, r: u64) -> Predicate {
+    if es == ids.dna {
+        match r % 3 {
+            0 => Predicate::True,
+            1 => Predicate::eq(1, "mRNA"),
+            _ => Predicate::eq(1, "EST"),
+        }
+    } else {
+        match r % 4 {
+            0 => Predicate::True,
+            1 => selectivity_predicate(Selectivity::Selective),
+            2 => selectivity_predicate(Selectivity::Medium),
+            _ => selectivity_predicate(Selectivity::Unselective),
+        }
+    }
+}
+
+/// A deterministic closed-loop serving mix: `n` queries cycling the
+/// paper's six entity-set pairs with constraints, `k` (1..=20), and
+/// ranking scheme drawn from a SplitMix64 stream over `seed`.
+///
+/// This is what the serving stress harness replays: same seed, same
+/// queries, in the same order, on every machine.
+pub fn query_mix(ids: &SchemaIds, l: usize, n: usize, seed: u64) -> Vec<TopologyQuery> {
+    let pairs = [
+        (ids.protein, ids.dna),
+        (ids.protein, ids.interaction),
+        (ids.protein, ids.unigene),
+        (ids.dna, ids.interaction),
+        (ids.dna, ids.unigene),
+        (ids.unigene, ids.interaction),
+    ];
+    let mut state = seed;
+    (0..n)
+        .map(|i| {
+            let (es1, es2) = pairs[i % pairs.len()];
+            let con1 = endpoint_constraint(es1, ids, splitmix(&mut state));
+            let con2 = endpoint_constraint(es2, ids, splitmix(&mut state));
+            let k = 1 + (splitmix(&mut state) % 20) as usize;
+            let scheme = RankScheme::all()[(splitmix(&mut state) % 3) as usize];
+            TopologyQuery::new(es1, con1, es2, con2, l).with_k(k).with_scheme(scheme)
+        })
+        .collect()
 }
 
 /// The pseudo-domain-expert configured for the Biozon schema: interaction
@@ -116,6 +176,28 @@ mod tests {
         let b = generate(&BiozonConfig::small(1));
         let s = domain_scorer(&b.ids);
         assert!(s.interesting_rels.contains(&b.ids.interacts_p));
+    }
+
+    #[test]
+    fn query_mix_is_deterministic_and_varied() {
+        let b = generate(&BiozonConfig::small(1));
+        let a = query_mix(&b.ids, 3, 60, 7);
+        let c = query_mix(&b.ids, 3, 60, 7);
+        assert_eq!(a.len(), 60);
+        for (x, y) in a.iter().zip(&c) {
+            assert_eq!((x.es1, x.es2, x.k, x.scheme, x.l), (y.es1, y.es2, y.k, y.scheme, y.l));
+        }
+        let pairs: std::collections::BTreeSet<_> = a.iter().map(|q| (q.es1, q.es2)).collect();
+        assert_eq!(pairs.len(), 6, "all six paper pairs cycle through");
+        let schemes: std::collections::BTreeSet<_> =
+            a.iter().map(|q| format!("{}", q.scheme)).collect();
+        assert_eq!(schemes.len(), 3, "all three ranking schemes appear");
+        let ks: std::collections::BTreeSet<_> = a.iter().map(|q| q.k).collect();
+        assert!(ks.len() > 5 && ks.iter().all(|&k| (1..=20).contains(&k)));
+        let other_seed = query_mix(&b.ids, 3, 60, 8);
+        let same: usize =
+            a.iter().zip(&other_seed).filter(|(x, y)| (x.k, x.scheme) == (y.k, y.scheme)).count();
+        assert!(same < 30, "different seeds should draw different streams");
     }
 
     #[test]

@@ -545,6 +545,78 @@ impl Catalog {
         })
     }
 
+    /// Order-sensitive FNV-1a (64-bit) digest of the catalog's logical
+    /// content: `l`, every topology's metadata (espair, canonical code,
+    /// frequency, pruned flag, scores, path signature), the CSR pair
+    /// store, the truncation counter, and all three materialized tables
+    /// row by row. Identical builds produce identical digests, so the
+    /// serving layer's fault-injection tests pin the digest before and
+    /// after a panic storm to prove a shared snapshot is never mutated
+    /// in place.
+    pub fn fnv_digest(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn put(&mut self, x: u64) {
+                const PRIME: u64 = 0x0000_0100_0000_01b3;
+                for b in x.to_le_bytes() {
+                    self.0 = (self.0 ^ u64::from(b)).wrapping_mul(PRIME);
+                }
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.put(self.l as u64);
+        h.put(self.metas.len() as u64);
+        for m in &self.metas {
+            h.put(u64::from(m.espair.from));
+            h.put(u64::from(m.espair.to));
+            h.put(m.code.0.len() as u64);
+            for &c in &m.code.0 {
+                h.put(u64::from(c));
+            }
+            h.put(m.freq);
+            h.put(u64::from(m.pruned));
+            for s in m.scores {
+                h.put(s.to_bits());
+            }
+            match &m.path_sig {
+                None => h.put(u64::MAX),
+                Some(sig) => {
+                    h.put(sig.0.len() as u64);
+                    for &u in &sig.0 {
+                        h.put(u64::from(u));
+                    }
+                }
+            }
+        }
+        h.put(self.pair_keys.len() as u64);
+        for k in &self.pair_keys {
+            h.put(u64::from(k.espair.from));
+            h.put(u64::from(k.espair.to));
+            h.put(k.e1 as u64);
+            h.put(k.e2 as u64);
+        }
+        for o in &self.pair_offsets {
+            h.put(u64::from(o.topos));
+            h.put(u64::from(o.sigs));
+        }
+        for &t in &self.pair_topos {
+            h.put(u64::from(t));
+        }
+        for &s in &self.pair_sigs {
+            h.put(u64::from(s));
+        }
+        h.put(self.truncated_pairs);
+        for table in [&self.alltops, &self.lefttops, &self.excptops] {
+            h.put(table.len() as u64);
+            for r in table.rows() {
+                for col in 0..3 {
+                    h.put(r.as_int(col) as u64);
+                }
+            }
+        }
+        h.0
+    }
+
     /// Per-espair byte sizes of the three tables (Table 1 of the paper).
     /// Row payload plus index-posting overhead, attributed to the espair
     /// that owns each row's TID.

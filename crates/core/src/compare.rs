@@ -116,8 +116,8 @@ mod tests {
         let (db, g, schema, cat) = setup();
         let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat };
         let q = TopologyQuery::new(PROTEIN, Predicate::True, DNA, Predicate::True, 3);
-        let r1 = full_top::eval(&ctx, &q);
-        let r2 = full_top::eval(&ctx, &q);
+        let r1 = full_top::eval(&ctx, &q, ts_exec::Work::new());
+        let r2 = full_top::eval(&ctx, &q, ts_exec::Work::new());
         let d = diff(&ResultView::new(&cat, r1.tids()), &ResultView::new(&cat, r2.tids()));
         assert!(d.only_left.is_empty());
         assert!(d.only_right.is_empty());
@@ -132,10 +132,12 @@ mod tests {
         let broad = full_top::eval(
             &ctx,
             &TopologyQuery::new(PROTEIN, Predicate::True, DNA, Predicate::True, 3),
+            ts_exec::Work::new(),
         );
         let narrow = full_top::eval(
             &ctx,
             &TopologyQuery::new(PROTEIN, Predicate::contains(1, "MMS2"), DNA, Predicate::True, 3),
+            ts_exec::Work::new(),
         );
         let d = diff(&ResultView::new(&cat, broad.tids()), &ResultView::new(&cat, narrow.tids()));
         assert!(d.only_right.is_empty(), "narrow cannot have extra topologies");
@@ -153,8 +155,8 @@ mod tests {
         let ctx2 = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat2 };
         let q = TopologyQuery::new(PROTEIN, Predicate::True, DNA, Predicate::True, 3);
         let q2 = TopologyQuery::new(PROTEIN, Predicate::True, DNA, Predicate::True, 2);
-        let r3 = full_top::eval(&ctx3, &q);
-        let r2 = full_top::eval(&ctx2, &q2);
+        let r3 = full_top::eval(&ctx3, &q, ts_exec::Work::new());
+        let r2 = full_top::eval(&ctx2, &q2, ts_exec::Work::new());
         let d = diff(&ResultView::new(&cat3, r3.tids()), &ResultView::new(&cat2, r2.tids()));
         assert!(!d.only_left.is_empty(), "length-3 topologies exist only at l=3");
         assert!(d.only_right.is_empty(), "every l=2 topology also arises at l=3 here");

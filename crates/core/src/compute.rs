@@ -24,11 +24,13 @@
 //!   produce identical catalogs.
 
 use std::hash::BuildHasher;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use ts_graph::{CanonicalCode, DataGraph, LGraph, PathArena, PathSig, SchemaGraph};
 use ts_storage::cast;
+use ts_storage::faults::{self, sites};
 use ts_storage::{Database, FastBuildHasher};
 
 use crate::catalog::{Catalog, EsPair, TopologyId};
@@ -153,7 +155,48 @@ struct WorkerOut {
     sig_hashes: u64,
 }
 
+/// A failed offline build.
+#[derive(Debug)]
+pub enum ComputeError {
+    /// A build worker panicked. All surviving workers were joined first,
+    /// so no thread is left running; the partial build is discarded
+    /// rather than interned into a half-empty catalog.
+    WorkerPanicked {
+        /// The panic payload, rendered to text when it was a string.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for ComputeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ComputeError::WorkerPanicked { detail } => {
+                write!(f, "catalog build worker panicked: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComputeError {}
+
+/// Render a panic payload for [`ComputeError::WorkerPanicked`] (and for
+/// the serving layer's per-query panic isolation).
+pub fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Compute the full catalog.
+///
+/// A panicking build worker propagates the panic (historically it
+/// aborted via a bare `join().expect`). Callers that must survive a
+/// poisoned build — the serving layer rebuilding a snapshot under
+/// fault injection — use [`try_compute_catalog`] instead.
 pub fn compute_catalog(
     db: &Database,
     g: &DataGraph,
@@ -161,6 +204,18 @@ pub fn compute_catalog(
     opts: &ComputeOptions,
 ) -> (Catalog, ComputeStats) {
     compute_catalog_with_hasher::<FastBuildHasher>(db, g, schema, opts)
+}
+
+/// [`compute_catalog`] with worker panics caught and returned as a typed
+/// [`ComputeError`] — every worker is joined before the error is
+/// reported, so the process keeps running with no leaked threads.
+pub fn try_compute_catalog(
+    db: &Database,
+    g: &DataGraph,
+    schema: &SchemaGraph,
+    opts: &ComputeOptions,
+) -> Result<(Catalog, ComputeStats), ComputeError> {
+    try_compute_catalog_with_hasher::<FastBuildHasher>(db, g, schema, opts)
 }
 
 /// [`compute_catalog`], generic over the hasher of the worker-side memo
@@ -176,6 +231,19 @@ pub fn compute_catalog_with_hasher<S: BuildHasher + Default>(
     schema: &SchemaGraph,
     opts: &ComputeOptions,
 ) -> (Catalog, ComputeStats) {
+    // lint: allow(unwrap-in-lib): re-raises a worker panic that the try_
+    // path caught — the historical contract of this infallible entry point
+    try_compute_catalog_with_hasher::<S>(db, g, schema, opts).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_compute_catalog`], generic over the worker-memo hasher like
+/// [`compute_catalog_with_hasher`].
+pub fn try_compute_catalog_with_hasher<S: BuildHasher + Default>(
+    db: &Database,
+    g: &DataGraph,
+    schema: &SchemaGraph,
+    opts: &ComputeOptions,
+) -> Result<(Catalog, ComputeStats), ComputeError> {
     assert!(opts.l >= 1, "path limit l must be >= 1");
     // lint: allow(nondeterministic-source): wall-clock timing statistic only;
     // it lands in ComputeStats::millis and never reaches catalog bytes
@@ -193,7 +261,7 @@ pub fn compute_catalog_with_hasher<S: BuildHasher + Default>(
     };
 
     for &espair in es_pairs {
-        let outs = compute_espair::<S>(g, schema, espair, opts);
+        let outs = compute_espair::<S>(g, schema, espair, opts)?;
         intern_locals(&mut catalog, espair, outs, &mut stats);
     }
 
@@ -201,7 +269,7 @@ pub fn compute_catalog_with_hasher<S: BuildHasher + Default>(
     catalog.truncated_pairs = stats.truncated_pairs;
     stats.topologies = catalog.topology_count();
     stats.millis = start.elapsed().as_secs_f64() * 1e3;
-    (catalog, stats)
+    Ok((catalog, stats))
 }
 
 /// Every unordered pair of distinct entity sets with a connecting schema
@@ -359,20 +427,32 @@ fn compute_espair<S: BuildHasher + Default>(
     schema: &SchemaGraph,
     espair: EsPair,
     opts: &ComputeOptions,
-) -> Vec<WorkerOut> {
+) -> Result<Vec<WorkerOut>, ComputeError> {
     let sources: &[u32] = g.nodes_of_type(espair.from);
     if sources.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let reach = schema.reach_table(espair.to, opts.l);
 
     let mut results: Vec<WorkerOut> = Vec::new();
     if !opts.parallel || sources.len() < opts.min_parallel_sources {
-        let mut w = Worker::<S>::new(g, &reach, espair, opts);
-        for &a in sources {
-            w.run_source(a);
+        // lint: allow(catch-unwind-audit): confines a (possibly injected)
+        // per-source panic so the serial build reports the same typed
+        // ComputeError as the parallel path's joined workers
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let mut w = Worker::<S>::new(g, &reach, espair, opts);
+            for &a in sources {
+                let _ = faults::fire(sites::CORE_COMPUTE_WORKER);
+                w.run_source(a);
+            }
+            w.finish()
+        }));
+        match caught {
+            Ok(out) => results.push(out),
+            Err(payload) => {
+                return Err(ComputeError::WorkerPanicked { detail: panic_detail(payload) })
+            }
         }
-        results.push(w.finish());
     } else {
         // Auto mode caps at 16 to avoid over-spawning on large boxes;
         // an explicit max_threads is honored as given.
@@ -388,7 +468,11 @@ fn compute_espair<S: BuildHasher + Default>(
         // to balance, large enough to keep cursor traffic negligible.
         let chunk = (sources.len() / (threads * 8)).clamp(1, 256);
         let cursor = AtomicUsize::new(0);
-        std::thread::scope(|s| {
+        // Join EVERY handle before inspecting any result: an early return
+        // from inside `thread::scope` would re-raise the first panic at
+        // the scope boundary and abort the caller — exactly the failure
+        // mode this function exists to remove.
+        let joined: Vec<std::thread::Result<WorkerOut>> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     let cursor = &cursor;
@@ -401,6 +485,7 @@ fn compute_espair<S: BuildHasher + Default>(
                                 break;
                             }
                             for &a in &sources[start..(start + chunk).min(sources.len())] {
+                                let _ = faults::fire(sites::CORE_COMPUTE_WORKER);
                                 w.run_source(a);
                             }
                         }
@@ -408,14 +493,18 @@ fn compute_espair<S: BuildHasher + Default>(
                     })
                 })
                 .collect();
-            for h in handles {
-                // lint: allow(unwrap-in-lib): a panicking worker already lost the build;
-                // propagating beats fabricating a partial catalog
-                results.push(h.join().expect("worker thread panicked"));
-            }
+            handles.into_iter().map(|h| h.join()).collect()
         });
+        for j in joined {
+            match j {
+                Ok(out) => results.push(out),
+                Err(payload) => {
+                    return Err(ComputeError::WorkerPanicked { detail: panic_detail(payload) })
+                }
+            }
+        }
     }
-    results
+    Ok(results)
 }
 
 /// Intern worker results deterministically: pairs are sorted by entity

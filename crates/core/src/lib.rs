@@ -42,18 +42,24 @@ pub mod methods;
 pub mod prune;
 pub mod query;
 pub mod score;
+pub mod snapshot;
 pub mod topology;
 pub mod weak;
 
 pub use catalog::{Catalog, EsPair, PairKey, PairOffsets, PairView, TopologyId, TopologyMeta};
 pub use compare::{diff, ResultView, TopologyDiff};
-pub use compute::{compute_catalog, compute_catalog_with_hasher, ComputeOptions, ComputeStats};
-pub use methods::{EvalOutcome, Method, QueryContext};
+pub use compute::{
+    compute_catalog, compute_catalog_with_hasher, panic_detail, try_compute_catalog,
+    try_compute_catalog_with_hasher, ComputeError, ComputeOptions, ComputeStats,
+};
+pub use methods::{validate_query, EvalOutcome, Method, QueryContext, QueryError};
 pub use prune::{prune_catalog, PruneOptions, PruneReport};
 pub use query::{RankScheme, TopologyQuery};
 pub use score::{score_catalog, DomainScorer};
+pub use snapshot::Snapshot;
 pub use topology::{
     pair_topologies, pair_topologies_into, CanonMemo, CanonMemoH, PairTopologies, PairTops,
     SigInterner, TopOptions, TopScratch,
 };
+pub use ts_exec::{Budget, Exhausted, Work};
 pub use weak::WeakPolicy;

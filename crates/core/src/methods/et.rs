@@ -10,7 +10,9 @@
 
 use std::time::Instant;
 
-use ts_exec::{collect_distinct_topk, BoxedOp, Filter, Hdgj, Idgj, TableScan, ValuesScan, Work};
+use ts_exec::{
+    collect_distinct_topk_budgeted, BoxedOp, Filter, Hdgj, Idgj, TableScan, ValuesScan, Work,
+};
 use ts_storage::{row, Predicate, Row, Table};
 
 use crate::catalog::TopologyId;
@@ -44,11 +46,11 @@ pub fn eval(
     q: &TopologyQuery,
     variant: Variant,
     plan: EtPlanKind,
+    work: Work,
 ) -> EvalOutcome {
     // lint: allow(nondeterministic-source): wall-clock timing statistic only;
     // it lands in the outcome's millis field and never reaches catalog bytes
     let start = Instant::now();
-    let work = Work::new();
     let o = orient(q);
 
     let table = match variant {
@@ -79,6 +81,7 @@ pub fn eval(
             },
             table.schema().name
         ),
+        exhausted: work.exhausted(),
     }
 }
 
@@ -141,7 +144,7 @@ pub fn run_et_plan(
     };
 
     let mut top = top;
-    let winners = collect_distinct_topk(top.as_mut(), 0, k);
+    let winners = collect_distinct_topk_budgeted(top.as_mut(), 0, k, work);
     winners
         .into_iter()
         .map(|r| {
@@ -193,11 +196,11 @@ mod tests {
             for scheme in RankScheme::all() {
                 for k in [1, 2, 10] {
                     let q = query().with_k(k).with_scheme(scheme);
-                    let base_full = topk::eval(&ctx, &q, topk::Variant::Full);
-                    let base_fast = topk::eval(&ctx, &q, topk::Variant::Fast);
+                    let base_full = topk::eval(&ctx, &q, topk::Variant::Full, Work::new());
+                    let base_fast = topk::eval(&ctx, &q, topk::Variant::Fast, Work::new());
                     for plan in [EtPlanKind::Idgj, EtPlanKind::Hdgj] {
-                        let et_full = eval(&ctx, &q, Variant::Full, plan);
-                        let et_fast = eval(&ctx, &q, Variant::Fast, plan);
+                        let et_full = eval(&ctx, &q, Variant::Full, plan, Work::new());
+                        let et_fast = eval(&ctx, &q, Variant::Fast, plan, Work::new());
                         assert_eq!(
                             et_full.tid_set(),
                             base_full.tid_set(),
@@ -219,7 +222,7 @@ mod tests {
         let (db, g, schema, cat) = setup(u64::MAX);
         let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat };
         let q = query().with_scheme(RankScheme::Domain);
-        let out = eval(&ctx, &q, Variant::Full, EtPlanKind::Idgj);
+        let out = eval(&ctx, &q, Variant::Full, EtPlanKind::Idgj, Work::new());
         for w in out.topologies.windows(2) {
             assert!(w[0].1 >= w[1].1);
         }
@@ -231,9 +234,12 @@ mod tests {
         let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat };
         let q_all = query().with_k(100);
         let q_one = query().with_k(1);
-        let w_all = eval(&ctx, &q_all, Variant::Full, EtPlanKind::Idgj).work;
-        let w_one = eval(&ctx, &q_one, Variant::Full, EtPlanKind::Idgj).work;
+        let w_all = eval(&ctx, &q_all, Variant::Full, EtPlanKind::Idgj, Work::new()).work;
+        let w_one = eval(&ctx, &q_one, Variant::Full, EtPlanKind::Idgj, Work::new()).work;
         assert!(w_one <= w_all, "k=1 must not do more work: {w_one} vs {w_all}");
-        assert_eq!(eval(&ctx, &q_one, Variant::Full, EtPlanKind::Idgj).topologies.len(), 1);
+        assert_eq!(
+            eval(&ctx, &q_one, Variant::Full, EtPlanKind::Idgj, Work::new()).topologies.len(),
+            1
+        );
     }
 }

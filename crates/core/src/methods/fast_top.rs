@@ -16,11 +16,10 @@ use crate::methods::{full_top, EvalOutcome, Method, QueryContext};
 use crate::query::TopologyQuery;
 
 /// Evaluate with this strategy (also reachable via [`crate::methods::Method::eval`]).
-pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
+pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, work: Work) -> EvalOutcome {
     // lint: allow(nondeterministic-source): wall-clock timing statistic only;
     // it lands in the outcome's millis field and never reaches catalog bytes
     let start = Instant::now();
-    let work = Work::new();
     let o = orient(q);
 
     // Top sub-query: unpruned topologies from LeftTops.
@@ -40,6 +39,9 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
         let a_ids = selected_ids(ctx, o.espair.from, o.con_from, &work);
         let b_ids = selected_ids(ctx, o.espair.to, o.con_to, &work);
         for tid in pruned {
+            if work.interrupted() {
+                break;
+            }
             if online_path_check(ctx, tid, &a_ids, &b_ids, &work) {
                 tids.push(tid);
             }
@@ -54,6 +56,7 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
         work: work.get(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         detail: format!("LeftTops join UNION {n_pruned} online path checks"),
+        exhausted: work.exhausted(),
     }
 }
 
@@ -88,8 +91,8 @@ mod tests {
             prune_catalog(&mut cat, PruneOptions { threshold, max_pruned: 64 });
             let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat };
             for q in &queries {
-                let fast = eval(&ctx, q);
-                let full = full_top::eval(&ctx, q);
+                let fast = eval(&ctx, q, Work::new());
+                let full = full_top::eval(&ctx, q, Work::new());
                 assert_eq!(fast.tid_set(), full.tid_set(), "threshold={threshold} query={q:?}");
             }
         }
@@ -111,7 +114,7 @@ mod tests {
             Predicate::contains(2, "MMS2"), // only DNA 215
             3,
         );
-        let out = eval(&ctx, &q);
+        let out = eval(&ctx, &q, Work::new());
         for &(tid, _) in &out.topologies {
             let meta = ctx.catalog.meta(tid);
             assert!(
@@ -130,7 +133,7 @@ mod tests {
         prune_catalog(&mut cat, PruneOptions { threshold: 0, max_pruned: 64 });
         let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat };
         let q = TopologyQuery::new(PROTEIN, Predicate::True, DNA, Predicate::True, 3);
-        let out = eval(&ctx, &q);
+        let out = eval(&ctx, &q, Work::new());
         assert!(out.detail.contains("online path checks"));
         assert!(out.detail.contains('2'), "two P-D path topologies pruned: {}", out.detail);
     }

@@ -15,7 +15,7 @@
 
 use std::time::Instant;
 
-use ts_exec::{collect_all, BoxedOp, Distinct, HashJoin, TableScan, Work};
+use ts_exec::{collect_all_budgeted, BoxedOp, Distinct, HashJoin, TableScan, Work};
 use ts_storage::Predicate;
 
 use crate::methods::common::{entity_table, orient};
@@ -23,11 +23,10 @@ use crate::methods::{EvalOutcome, Method, QueryContext};
 use crate::query::TopologyQuery;
 
 /// Evaluate with this strategy (also reachable via [`crate::methods::Method::eval`]).
-pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
+pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, work: Work) -> EvalOutcome {
     // lint: allow(nondeterministic-source): wall-clock timing statistic only;
     // it lands in the outcome's millis field and never reaches catalog bytes
     let start = Instant::now();
-    let work = Work::new();
     let tids = distinct_tids(ctx, q, &ctx.catalog.alltops, &work);
     EvalOutcome {
         method: Method::FullTop,
@@ -35,6 +34,7 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
         work: work.get(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         detail: "DISTINCT(HASH(HASH(AllTops, σE1), σE2)).TID".into(),
+        exhausted: work.exhausted(),
     }
 }
 
@@ -77,6 +77,9 @@ pub(crate) fn distinct_tids(
         let b_ids = crate::methods::common::selected_ids(ctx, o.espair.to, o.con_to, work);
         let mut out = ts_storage::FastSet::default();
         for &a in &a_ids {
+            if work.interrupted() {
+                break;
+            }
             work.tick(1); // index probe
             for &rid in tops_table.index_probe(0, &ts_storage::Value::Int(a)) {
                 work.tick(1);
@@ -102,7 +105,7 @@ pub(crate) fn distinct_tids(
             Box::new(TableScan::new(to_table, o.con_to.clone(), work.clone()));
         let j2: BoxedOp<'_> = Box::new(HashJoin::new(j1, 1, to_scan, to_pk, work.clone()));
         let mut distinct = Distinct::new(j2, vec![2], work.clone());
-        collect_all(&mut distinct)
+        collect_all_budgeted(&mut distinct, work)
             .into_iter()
             .map(|r| r.get(2).as_int() as crate::catalog::TopologyId)
             .collect()
@@ -141,7 +144,7 @@ mod tests {
             Predicate::eq(1, "mRNA"),
             3,
         );
-        let out = eval(&ctx, &q);
+        let out = eval(&ctx, &q, Work::new());
         assert_eq!(out.tid_set().len(), 4, "expected T1..T4: {:?}", out.topologies);
         assert!(out.work > 0);
     }
@@ -156,7 +159,7 @@ mod tests {
         let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat };
         let q =
             TopologyQuery::new(PROTEIN, Predicate::contains(1, "vitamin"), DNA, Predicate::True, 3);
-        let out = eval(&ctx, &q);
+        let out = eval(&ctx, &q, Work::new());
         assert!(!out.topologies.is_empty());
         assert!(out.tid_set().len() < 4);
     }
@@ -172,7 +175,7 @@ mod tests {
             Predicate::True,
             3,
         );
-        let out = eval(&ctx, &q);
+        let out = eval(&ctx, &q, Work::new());
         assert!(out.topologies.is_empty());
     }
 
@@ -194,6 +197,6 @@ mod tests {
             Predicate::contains(1, "enzyme"),
             3,
         );
-        assert_eq!(eval(&ctx, &q1).tid_set(), eval(&ctx, &q2).tid_set());
+        assert_eq!(eval(&ctx, &q1, Work::new()).tid_set(), eval(&ctx, &q2, Work::new()).tid_set());
     }
 }

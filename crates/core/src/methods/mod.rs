@@ -16,7 +16,9 @@ pub mod opt;
 pub mod sql_method;
 pub mod topk;
 
+use ts_exec::{Exhausted, Work};
 use ts_graph::{DataGraph, SchemaGraph};
+use ts_storage::faults::{self, sites, FireAction};
 use ts_storage::Database;
 
 use crate::catalog::{Catalog, TopologyId};
@@ -33,6 +35,61 @@ pub struct QueryContext<'a> {
     pub schema: &'a SchemaGraph,
     /// Precomputed topology catalog.
     pub catalog: &'a Catalog,
+}
+
+/// A query rejected before evaluation.
+///
+/// Historically a malformed query panicked deep inside a method
+/// (`Database::entity_set` indexes by `es`) or silently returned an
+/// empty result; the serving layer needs a typed rejection instead, so
+/// [`Method::try_eval`] validates the query against the context first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An entity-set id not present in the database schema.
+    UnknownEntity {
+        /// The offending id (es1 or es2 of the query).
+        es: u16,
+        /// Number of entity sets the database declares.
+        entity_sets: usize,
+    },
+    /// The query's path-length limit does not match the catalog's.
+    LMismatch {
+        /// `l` of the query.
+        query_l: usize,
+        /// `l` the catalog was computed at.
+        catalog_l: usize,
+    },
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::UnknownEntity { es, entity_sets } => {
+                write!(f, "unknown entity set {es} (database declares {entity_sets})")
+            }
+            QueryError::LMismatch { query_l, catalog_l } => {
+                write!(f, "query l = {query_l} but the catalog was computed at l = {catalog_l}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Validate a query against a context: both entity-set ids must exist
+/// and the path-length limit must match the catalog's. Every method
+/// behaves identically on an invalid query — it never runs.
+pub fn validate_query(ctx: &QueryContext<'_>, q: &TopologyQuery) -> Result<(), QueryError> {
+    let entity_sets = ctx.db.entity_sets().len();
+    for es in [q.es1, q.es2] {
+        if usize::from(es) >= entity_sets {
+            return Err(QueryError::UnknownEntity { es, entity_sets });
+        }
+    }
+    if q.l != ctx.catalog.l {
+        return Err(QueryError::LMismatch { query_l: q.l, catalog_l: ctx.catalog.l });
+    }
+    Ok(())
 }
 
 /// The strategy selector.
@@ -94,18 +151,52 @@ impl Method {
         !matches!(self, Method::Sql | Method::FullTop | Method::FastTop)
     }
 
-    /// Evaluate a query with this strategy.
+    /// Evaluate a query with this strategy (unbudgeted, unvalidated —
+    /// the historical entry point; a malformed query may panic).
     pub fn eval(self, ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
+        self.eval_with(ctx, q, Work::new())
+    }
+
+    /// Validate, then evaluate. The serving entry point: a malformed
+    /// query is a typed [`QueryError`], never a panic.
+    pub fn try_eval(
+        self,
+        ctx: &QueryContext<'_>,
+        q: &TopologyQuery,
+    ) -> Result<EvalOutcome, QueryError> {
+        self.try_eval_with(ctx, q, Work::new())
+    }
+
+    /// Validate, then evaluate under a caller-provided (possibly
+    /// budgeted) work meter.
+    pub fn try_eval_with(
+        self,
+        ctx: &QueryContext<'_>,
+        q: &TopologyQuery,
+        work: Work,
+    ) -> Result<EvalOutcome, QueryError> {
+        validate_query(ctx, q)?;
+        Ok(self.eval_with(ctx, q, work))
+    }
+
+    /// Evaluate under a caller-provided work meter. With a budgeted
+    /// [`Work`] the plan stops cooperatively at the first exhausted
+    /// limit and the outcome carries the partial result plus
+    /// [`EvalOutcome::exhausted`].
+    pub fn eval_with(self, ctx: &QueryContext<'_>, q: &TopologyQuery, work: Work) -> EvalOutcome {
+        if let FireAction::Starve = faults::fire(sites::CORE_METHOD_EVAL) {
+            work.starve();
+        }
         match self {
-            Method::Sql => sql_method::eval(ctx, q),
-            Method::FullTop => full_top::eval(ctx, q),
-            Method::FastTop => fast_top::eval(ctx, q),
-            Method::FullTopK => topk::eval(ctx, q, topk::Variant::Full),
-            Method::FastTopK => topk::eval(ctx, q, topk::Variant::Fast),
-            Method::FullTopKEt => et::eval(ctx, q, et::Variant::Full, et::EtPlanKind::Idgj),
-            Method::FastTopKEt => et::eval(ctx, q, et::Variant::Fast, et::EtPlanKind::Idgj),
-            Method::FullTopKOpt => opt::eval(ctx, q, opt::Variant::Full),
-            Method::FastTopKOpt => opt::eval(ctx, q, opt::Variant::Fast),
+            Method::Sql => sql_method::eval(ctx, q, work),
+            Method::FullTop => full_top::eval(ctx, q, work),
+            Method::FastTop => fast_top::eval(ctx, q, work),
+            Method::FullTopK => topk::eval(ctx, q, topk::Variant::Full, work),
+            Method::FastTopK => topk::eval(ctx, q, topk::Variant::Fast, work),
+            Method::FullTopKEt => et::eval(ctx, q, et::Variant::Full, et::EtPlanKind::Idgj, work),
+            Method::FastTopKEt => et::eval(ctx, q, et::Variant::Fast, et::EtPlanKind::Idgj, work),
+            Method::FullTopKOpt => opt::eval(ctx, q, opt::Variant::Full, work),
+            Method::FastTopKOpt => opt::eval(ctx, q, opt::Variant::Fast, work),
         }
     }
 }
@@ -131,6 +222,9 @@ pub struct EvalOutcome {
     pub wall_ms: f64,
     /// Free-form explain text (plan shape, optimizer choice, ...).
     pub detail: String,
+    /// `Some` when a budgeted run stopped early: the limit that tripped.
+    /// `topologies` then holds the partial result accumulated so far.
+    pub exhausted: Option<Exhausted>,
 }
 
 impl EvalOutcome {

@@ -23,7 +23,12 @@ pub enum Variant {
 }
 
 /// Evaluate with this strategy (also reachable via [`crate::methods::Method::eval`]).
-pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, variant: Variant) -> EvalOutcome {
+pub fn eval(
+    ctx: &QueryContext<'_>,
+    q: &TopologyQuery,
+    variant: Variant,
+    work: ts_exec::Work,
+) -> EvalOutcome {
     let o = orient(q);
     let (from_table, _) = entity_table(ctx, o.espair.from);
     let (to_table, _) = entity_table(ctx, o.espair.to);
@@ -87,13 +92,13 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, variant: Variant) -> Eval
     let choose_et = et_cost < regular_cost;
     let mut out = if choose_et {
         match variant {
-            Variant::Full => et::eval(ctx, q, et::Variant::Full, et::EtPlanKind::Idgj),
-            Variant::Fast => et::eval(ctx, q, et::Variant::Fast, et::EtPlanKind::Idgj),
+            Variant::Full => et::eval(ctx, q, et::Variant::Full, et::EtPlanKind::Idgj, work),
+            Variant::Fast => et::eval(ctx, q, et::Variant::Fast, et::EtPlanKind::Idgj, work),
         }
     } else {
         match variant {
-            Variant::Full => topk::eval(ctx, q, topk::Variant::Full),
-            Variant::Fast => topk::eval(ctx, q, topk::Variant::Fast),
+            Variant::Full => topk::eval(ctx, q, topk::Variant::Full, work),
+            Variant::Fast => topk::eval(ctx, q, topk::Variant::Fast, work),
         }
     };
     out.detail = format!(
@@ -142,8 +147,8 @@ mod tests {
                 3,
             )
             .with_scheme(scheme);
-            let o = eval(&ctx, &q, Variant::Fast);
-            let base = topk::eval(&ctx, &q, topk::Variant::Fast);
+            let o = eval(&ctx, &q, Variant::Fast, ts_exec::Work::new());
+            let base = topk::eval(&ctx, &q, topk::Variant::Fast, ts_exec::Work::new());
             assert_eq!(o.tid_set(), base.tid_set(), "scheme={scheme}");
             assert!(o.detail.contains("opt chose"));
             assert_eq!(o.method, Method::FastTopKOpt);
@@ -155,7 +160,7 @@ mod tests {
         let (db, g, schema, cat) = setup();
         let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat };
         let q = TopologyQuery::new(PROTEIN, Predicate::True, DNA, Predicate::True, 3);
-        let o = eval(&ctx, &q, Variant::Full);
+        let o = eval(&ctx, &q, Variant::Full, ts_exec::Work::new());
         assert_eq!(o.method, Method::FullTopKOpt);
     }
 }

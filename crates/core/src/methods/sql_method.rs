@@ -226,11 +226,10 @@ fn materialize(
 
 /// The SQL baseline evaluation.
 /// Evaluate with this strategy (also reachable via [`crate::methods::Method::eval`]).
-pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
+pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, work: Work) -> EvalOutcome {
     // lint: allow(nondeterministic-source): wall-clock timing statistic only;
     // it lands in the outcome's millis field and never reaches catalog bytes
     let start = Instant::now();
-    let work = Work::new();
     let o = orient(q);
 
     // "Priori knowledge": the observed topologies of this espair.
@@ -243,6 +242,9 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
     let reach = ctx.schema.reach_table(o.espair.to, q.l);
     let mut results = Vec::new();
     for tid in candidates {
+        if work.interrupted() {
+            break;
+        }
         let target = &ctx.catalog.meta(tid).code;
         // One independent "SQL query" per candidate: re-enumerate paths
         // from every selected source, recompute each pair's topologies,
@@ -291,6 +293,7 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery) -> EvalOutcome {
         work: work.get(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         detail: format!("{n_candidates} independent per-topology queries"),
+        exhausted: work.exhausted(),
     }
 }
 
@@ -317,8 +320,8 @@ mod tests {
             ),
             TopologyQuery::new(PROTEIN, Predicate::True, DNA, Predicate::True, 3),
         ] {
-            let sql = eval(&ctx, &q);
-            let full = full_top::eval(&ctx, &q);
+            let sql = eval(&ctx, &q, Work::new());
+            let full = full_top::eval(&ctx, &q, Work::new());
             assert_eq!(sql.tid_set(), full.tid_set());
         }
     }
@@ -333,7 +336,7 @@ mod tests {
         let (cat, _) = compute_catalog(&db, &g, &schema, &ComputeOptions::with_l(3));
         let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat };
         let q = TopologyQuery::new(PROTEIN, Predicate::True, DNA, Predicate::True, 3);
-        let sql = eval(&ctx, &q);
+        let sql = eval(&ctx, &q, Work::new());
         let n = cat.topologies_for(EsPair::new(PROTEIN, DNA)).len();
         assert!(sql.detail.contains(&format!("{n} independent")), "{}", sql.detail);
         assert!(sql.work > 0);

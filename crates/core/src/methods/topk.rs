@@ -22,11 +22,15 @@ pub enum Variant {
 }
 
 /// Evaluate with this strategy (also reachable via [`crate::methods::Method::eval`]).
-pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, variant: Variant) -> EvalOutcome {
+pub fn eval(
+    ctx: &QueryContext<'_>,
+    q: &TopologyQuery,
+    variant: Variant,
+    work: Work,
+) -> EvalOutcome {
     // lint: allow(nondeterministic-source): wall-clock timing statistic only;
     // it lands in the outcome's millis field and never reaches catalog bytes
     let start = Instant::now();
-    let work = Work::new();
     let o = orient(q);
 
     let table = match variant {
@@ -60,6 +64,7 @@ pub fn eval(ctx: &QueryContext<'_>, q: &TopologyQuery, variant: Variant) -> Eval
                 format!("full eval + sort + fetch-k over LeftTops; {gated} gated pruned checks")
             }
         },
+        exhausted: work.exhausted(),
     }
 }
 
@@ -100,6 +105,9 @@ pub(crate) fn gate_pruned(
     let b_ids: FastSet<i64> = selected_ids(ctx, o.espair.to, o.con_to, work);
     let mut checks = 0;
     for (tid, score) in candidates {
+        if work.interrupted() {
+            break;
+        }
         checks += 1;
         if online_path_check(ctx, tid, &a_ids, &b_ids, work) {
             results.push((tid, score));
@@ -147,8 +155,8 @@ mod tests {
         for scheme in RankScheme::all() {
             for k in [1, 2, 4, 10] {
                 let q = query().with_k(k).with_scheme(scheme);
-                let full = eval(&ctx, &q, Variant::Full);
-                let fast = eval(&ctx, &q, Variant::Fast);
+                let full = eval(&ctx, &q, Variant::Full, Work::new());
+                let fast = eval(&ctx, &q, Variant::Fast, Work::new());
                 assert_eq!(
                     full.tid_set(),
                     fast.tid_set(),
@@ -165,7 +173,7 @@ mod tests {
         let (db, g, schema, cat) = setup(u64::MAX);
         let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat };
         let q = query().with_k(2);
-        let out = eval(&ctx, &q, Variant::Full);
+        let out = eval(&ctx, &q, Variant::Full, Work::new());
         assert_eq!(out.topologies.len(), 2);
         // Scores non-increasing.
         assert!(out.topologies[0].1 >= out.topologies[1].1);
@@ -178,7 +186,7 @@ mod tests {
         let (db, g, schema, cat) = setup(0);
         let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat };
         let q = query().with_k(1).with_scheme(RankScheme::Domain);
-        let out = eval(&ctx, &q, Variant::Fast);
+        let out = eval(&ctx, &q, Variant::Fast, Work::new());
         assert!(out.detail.contains("0 gated"), "detail: {}", out.detail);
     }
 
@@ -191,7 +199,7 @@ mod tests {
         let q = TopologyQuery::new(PROTEIN, Predicate::True, DNA, Predicate::True, 3)
             .with_k(10)
             .with_scheme(RankScheme::Freq);
-        let out = eval(&ctx, &q, Variant::Fast);
+        let out = eval(&ctx, &q, Variant::Fast, Work::new());
         assert_eq!(out.tid_set().len(), 5, "all five P-D topologies expected");
     }
 }

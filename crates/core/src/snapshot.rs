@@ -1,0 +1,53 @@
+//! An immutable, self-contained serving snapshot: the base data, both
+//! graphs, and the finished catalog bundled into one owned value.
+//!
+//! The serving layer (`ts-server`) shares one [`Snapshot`] across all
+//! worker threads behind an `Arc` and publishes rebuilds by swapping the
+//! `Arc` — in-flight queries keep the snapshot they started on alive,
+//! new admissions see the new epoch, and nothing is ever mutated in
+//! place ([`Snapshot::digest`] lets tests prove exactly that).
+
+use ts_graph::{DataGraph, SchemaGraph};
+use ts_storage::Database;
+
+use crate::catalog::Catalog;
+use crate::methods::QueryContext;
+
+/// One immutable generation of serving state.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Base data.
+    pub db: Database,
+    /// Data graph over the base data.
+    pub graph: DataGraph,
+    /// Schema graph.
+    pub schema: SchemaGraph,
+    /// Finished (finalized, optionally pruned and scored) catalog.
+    pub catalog: Catalog,
+    /// Publication epoch: 0 for the initial snapshot, incremented by the
+    /// serving layer on every swap.
+    pub epoch: u64,
+}
+
+impl Snapshot {
+    /// Bundle serving state at epoch 0.
+    pub fn new(db: Database, graph: DataGraph, schema: SchemaGraph, catalog: Catalog) -> Self {
+        Snapshot { db, graph, schema, catalog, epoch: 0 }
+    }
+
+    /// Borrow the snapshot as the [`QueryContext`] the nine methods run
+    /// against.
+    pub fn ctx(&self) -> QueryContext<'_> {
+        QueryContext {
+            db: &self.db,
+            graph: &self.graph,
+            schema: &self.schema,
+            catalog: &self.catalog,
+        }
+    }
+
+    /// The catalog's content digest (see [`Catalog::fnv_digest`]).
+    pub fn digest(&self) -> u64 {
+        self.catalog.fnv_digest()
+    }
+}

@@ -129,8 +129,8 @@ proptest! {
         prune_catalog(&mut cat, PruneOptions { threshold, max_pruned: 64 });
         let ctx = QueryContext { db: &db, graph: &g, schema: &schema, catalog: &cat };
         let q = TopologyQuery::new(0, Predicate::True, 2, Predicate::True, 3);
-        let fast = fast_top::eval(&ctx, &q);
-        let full = full_top::eval(&ctx, &q);
+        let fast = fast_top::eval(&ctx, &q, ts_exec::Work::new());
+        let full = full_top::eval(&ctx, &q, ts_exec::Work::new());
         prop_assert_eq!(fast.tid_set(), full.tid_set());
     }
 

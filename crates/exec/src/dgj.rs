@@ -18,6 +18,7 @@
 //! the overhead the paper's cost-based optimizer weighs against the
 //! early-termination benefit.
 
+use ts_storage::faults::{self, sites, FireAction};
 use ts_storage::{FastMap, Row, Table, Value};
 
 use crate::op::{BoxedOp, Operator, Work};
@@ -93,8 +94,15 @@ impl<'a> Idgj<'a> {
 impl Operator for Idgj<'_> {
     fn next(&mut self) -> Option<Row> {
         loop {
+            if self.work.interrupted() {
+                return None;
+            }
             if let Some(r) = self.pending.pop() {
                 return Some(r);
+            }
+            if let FireAction::Starve = faults::fire(sites::EXEC_DGJ_PROBE) {
+                self.work.starve();
+                return None;
             }
             let outer_row = self.next_outer()?;
             self.work.tick(1);
@@ -187,6 +195,13 @@ impl<'a> Hdgj<'a> {
     /// Materialize the next group of outer rows and join it.
     fn fill_group(&mut self) {
         while self.queue.is_empty() && !self.exhausted {
+            if self.work.interrupted() {
+                return;
+            }
+            if let FireAction::Starve = faults::fire(sites::EXEC_DGJ_PROBE) {
+                self.work.starve();
+                return;
+            }
             // Gather one group of outer rows.
             let first = match self.lookahead.take().or_else(|| self.outer.next()) {
                 Some(r) => r,

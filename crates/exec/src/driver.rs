@@ -6,15 +6,39 @@
 //! immediately skips the rest of the group; after `k` distinct groups it
 //! stops pulling altogether. This is where the two DGJ properties pay
 //! off.
+//!
+//! The `_budgeted` variants are the serving layer's entry points: they
+//! poll the shared [`Work`] between pulls (deadline / step / row quotas,
+//! cancellation, injected starvation) and stop cleanly mid-stream,
+//! leaving the partial result in place. With an unbudgeted meter they
+//! behave exactly like their plain counterparts.
 
+use ts_storage::faults::{self, sites, FireAction};
 use ts_storage::{Row, Value};
 
-use crate::op::Operator;
+use crate::op::{Operator, Work};
 
 /// Drain an operator completely.
 pub fn collect_all(op: &mut dyn Operator) -> Vec<Row> {
     let mut out = Vec::new();
     while let Some(r) = op.next() {
+        out.push(r);
+    }
+    out
+}
+
+/// Drain an operator, stopping early when `work` is interrupted.
+pub fn collect_all_budgeted(op: &mut dyn Operator, work: &Work) -> Vec<Row> {
+    let mut out = Vec::new();
+    loop {
+        if let FireAction::Starve = faults::fire(sites::EXEC_DRIVER_LOOP) {
+            work.starve();
+        }
+        if work.interrupted() {
+            break;
+        }
+        let Some(r) = op.next() else { break };
+        work.count_row();
         out.push(r);
     }
     out
@@ -31,14 +55,53 @@ pub fn collect_distinct_groups(op: &mut dyn Operator, group_col: usize) -> Vec<V
 
 /// First row of each of the first `k` distinct groups, in stream order.
 pub fn collect_distinct_topk(op: &mut dyn Operator, group_col: usize, k: usize) -> Vec<Row> {
+    distinct_topk(op, group_col, k, None)
+}
+
+/// Budget-aware [`collect_distinct_topk`]: stops at the first interrupt,
+/// returning the distinct groups accumulated so far (the "partial top-k"
+/// a degraded response carries). Each *recorded group* counts one row
+/// against the budget's row quota.
+pub fn collect_distinct_topk_budgeted(
+    op: &mut dyn Operator,
+    group_col: usize,
+    k: usize,
+    work: &Work,
+) -> Vec<Row> {
+    distinct_topk(op, group_col, k, Some(work))
+}
+
+fn distinct_topk(
+    op: &mut dyn Operator,
+    group_col: usize,
+    k: usize,
+    work: Option<&Work>,
+) -> Vec<Row> {
     let mut out: Vec<Row> = Vec::new();
     if k == 0 {
         return out;
     }
-    while let Some(row) = op.next() {
+    loop {
+        if let Some(w) = work {
+            if let FireAction::Starve = faults::fire(sites::EXEC_DRIVER_LOOP) {
+                w.starve();
+            }
+            if w.interrupted() {
+                break;
+            }
+        }
+        let Some(row) = op.next() else { break };
         let is_new =
             out.last().map(|prev: &Row| prev.get(group_col) != row.get(group_col)).unwrap_or(true);
         if is_new {
+            if let Some(w) = work {
+                w.count_row();
+                // An exceeded row quota drops this group: the rows kept
+                // are exactly the rows paid for.
+                if w.interrupted() {
+                    break;
+                }
+            }
             out.push(row);
             if out.len() == k {
                 break;
@@ -56,7 +119,7 @@ pub fn collect_distinct_topk(op: &mut dyn Operator, group_col: usize, k: usize) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::Work;
+    use crate::op::{Budget, Exhausted, Work};
     use crate::scan::ValuesScan;
     use ts_storage::row;
 
@@ -102,5 +165,46 @@ mod tests {
         let mut op = ValuesScan::new(rows, Work::new());
         let top = collect_distinct_topk(&mut op, 0, 5);
         assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn budgeted_topk_matches_plain_when_unbudgeted() {
+        let rows = vec![row![1i64], row![2i64], row![2i64], row![3i64]];
+        let w = Work::new();
+        let mut op = ValuesScan::grouped(rows.clone(), 0, w.clone());
+        let budgeted = collect_distinct_topk_budgeted(&mut op, 0, 10, &w);
+        let mut op2 = ValuesScan::grouped(rows, 0, Work::new());
+        let plain = collect_distinct_topk(&mut op2, 0, 10);
+        assert_eq!(budgeted, plain);
+    }
+
+    #[test]
+    fn row_quota_truncates_distinct_groups() {
+        let rows = vec![row![1i64], row![2i64], row![3i64], row![4i64]];
+        let w = Work::with_budget(Budget { row_quota: Some(2), ..Budget::default() });
+        let mut op = ValuesScan::grouped(rows, 0, w.clone());
+        let top = collect_distinct_topk_budgeted(&mut op, 0, 10, &w);
+        assert_eq!(top.len(), 2);
+        assert_eq!(w.exhausted(), Some(Exhausted::Rows));
+    }
+
+    #[test]
+    fn step_quota_stops_collect_all_with_partial_output() {
+        let rows: Vec<Row> = (0..100).map(|i| row![i as i64]).collect();
+        let w = Work::with_budget(Budget { step_quota: Some(10), ..Budget::default() });
+        let mut op = ValuesScan::new(rows, w.clone());
+        let got = collect_all_budgeted(&mut op, &w);
+        assert!(got.len() < 100, "must stop early");
+        assert!(!got.is_empty(), "quota of 10 admits some rows");
+        assert_eq!(w.exhausted(), Some(Exhausted::Steps));
+    }
+
+    #[test]
+    fn starved_work_yields_empty_from_the_start() {
+        let w = Work::with_budget(Budget::default());
+        w.starve();
+        let mut op = ValuesScan::new(vec![row![1i64]], w.clone());
+        assert!(collect_all_budgeted(&mut op, &w).is_empty());
+        assert_eq!(w.exhausted(), Some(Exhausted::Starved));
     }
 }

@@ -1,5 +1,6 @@
 //! Regular (non-DGJ) join operators: hash join and index nested loops.
 
+use ts_storage::faults::{self, sites, FireAction};
 use ts_storage::{FastMap, Row, Table, Value};
 
 use crate::op::{BoxedOp, Operator, Work};
@@ -38,6 +39,9 @@ impl<'a> HashJoin<'a> {
         if self.table.is_some() {
             return;
         }
+        if let FireAction::Starve = faults::fire(sites::EXEC_JOIN_BUILD) {
+            self.work.starve();
+        }
         let mut map: FastMap<Value, Vec<Row>> = FastMap::default();
         while let Some(r) = self.build.next() {
             self.work.tick(1);
@@ -51,6 +55,9 @@ impl Operator for HashJoin<'_> {
     fn next(&mut self) -> Option<Row> {
         self.build_table();
         loop {
+            if self.work.interrupted() {
+                return None;
+            }
             if let Some(r) = self.pending.pop() {
                 return Some(r);
             }
@@ -123,6 +130,9 @@ impl<'a> IndexNlJoin<'a> {
 impl Operator for IndexNlJoin<'_> {
     fn next(&mut self) -> Option<Row> {
         loop {
+            if self.work.interrupted() {
+                return None;
+            }
             if let Some(r) = self.pending.pop() {
                 return Some(r);
             }

@@ -21,7 +21,11 @@
 //!
 //! All operators share a [`Work`] counter that meters tuples processed
 //! and index probes — a machine-independent cost figure reported next to
-//! wall-clock time in the benchmark harnesses.
+//! wall-clock time in the benchmark harnesses. A [`Work`] built with
+//! [`Work::with_budget`] additionally enforces a per-query [`Budget`]
+//! (deadline, step/row quotas, cancellation token): operators poll it at
+//! their batch boundaries and surface exhaustion as end-of-stream, which
+//! the serving layer (`ts-server`) turns into graceful degradation.
 
 #![forbid(unsafe_code)]
 
@@ -34,9 +38,12 @@ pub mod simple;
 pub mod sort;
 
 pub use dgj::{Hdgj, Idgj};
-pub use driver::{collect_all, collect_distinct_groups, collect_distinct_topk};
+pub use driver::{
+    collect_all, collect_all_budgeted, collect_distinct_groups, collect_distinct_topk,
+    collect_distinct_topk_budgeted,
+};
 pub use join::{HashJoin, IndexNlJoin};
-pub use op::{BoxedOp, Operator, Work};
+pub use op::{BoxedOp, Budget, Exhausted, Operator, Work};
 pub use scan::{IndexLookupScan, TableScan, ValuesScan};
 pub use simple::{Distinct, Filter, Limit, Project, UnionAll};
 pub use sort::{Dir, Sort};

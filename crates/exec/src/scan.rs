@@ -1,6 +1,7 @@
 //! Scan operators: sequential table scan, index lookups, materialized rows.
 
 use ts_storage::cast;
+use ts_storage::faults::{self, sites, FireAction};
 use ts_storage::{Predicate, Row, Table, Value};
 
 use crate::op::{Operator, Work};
@@ -22,7 +23,16 @@ impl<'a> TableScan<'a> {
 
 impl Operator for TableScan<'_> {
     fn next(&mut self) -> Option<Row> {
+        if let FireAction::Starve = faults::fire(sites::EXEC_SCAN) {
+            self.work.starve();
+        }
         while self.pos < self.table.len() {
+            // Budget checkpoint: a scan with a selective predicate can
+            // touch many rows per emitted tuple, so poll inside the loop
+            // rather than only at entry.
+            if self.work.interrupted() {
+                return None;
+            }
             let row = self.table.row(cast::to_u32(self.pos));
             self.pos += 1;
             self.work.tick(1);
@@ -69,6 +79,9 @@ impl<'a> IndexLookupScan<'a> {
 
 impl Operator for IndexLookupScan<'_> {
     fn next(&mut self) -> Option<Row> {
+        if self.work.interrupted() {
+            return None;
+        }
         if !self.probed {
             self.probed = true;
             self.work.tick(1); // the probe itself
@@ -115,6 +128,9 @@ impl ValuesScan {
 
 impl Operator for ValuesScan {
     fn next(&mut self) -> Option<Row> {
+        if self.work.interrupted() {
+            return None;
+        }
         if self.pos < self.rows.len() {
             let r = self.rows[self.pos].clone();
             self.pos += 1;

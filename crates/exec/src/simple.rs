@@ -21,6 +21,9 @@ impl<'a> Filter<'a> {
 impl Operator for Filter<'_> {
     fn next(&mut self) -> Option<Row> {
         loop {
+            if self.work.interrupted() {
+                return None;
+            }
             let row = self.input.next()?;
             self.work.tick(1);
             if self.pred.eval(&row) {
@@ -120,6 +123,9 @@ impl<'a> Distinct<'a> {
 impl Operator for Distinct<'_> {
     fn next(&mut self) -> Option<Row> {
         loop {
+            if self.work.interrupted() {
+                return None;
+            }
             let row = self.input.next()?;
             self.work.tick(1);
             row.project_into(&self.key_cols, &mut self.scratch);

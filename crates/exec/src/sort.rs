@@ -1,5 +1,6 @@
 //! Materializing sort.
 
+use ts_storage::faults::{self, sites, FireAction};
 use ts_storage::{Row, Value};
 
 use crate::op::{BoxedOp, Operator, Work};
@@ -45,6 +46,9 @@ impl<'a> Sort<'a> {
         if self.buffer.is_some() {
             return;
         }
+        if let FireAction::Starve = faults::fire(sites::EXEC_SORT_FILL) {
+            self.work.starve();
+        }
         let mut rows = Vec::new();
         while let Some(r) = self.input.next() {
             if !self.ticked {
@@ -73,6 +77,9 @@ impl<'a> Sort<'a> {
 
 impl Operator for Sort<'_> {
     fn next(&mut self) -> Option<Row> {
+        if self.work.interrupted() {
+            return None;
+        }
         self.fill();
         let buf = self.buffer.as_mut().expect("filled");
         if self.pos < buf.len() {

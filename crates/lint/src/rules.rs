@@ -65,6 +65,10 @@ pub const NARROWING_CAST: &str = "narrowing-cast";
 pub const UNWRAP_IN_LIB: &str = "unwrap-in-lib";
 /// Name of the undocumented-unsafe rule.
 pub const UNDOCUMENTED_UNSAFE: &str = "undocumented-unsafe";
+/// Name of the bare thread-join rule.
+pub const BARE_JOIN_EXPECT: &str = "bare-join-expect";
+/// Name of the catch_unwind audit rule.
+pub const CATCH_UNWIND_AUDIT: &str = "catch-unwind-audit";
 /// Meta rule: malformed or reasonless allow directives.
 pub const BAD_ALLOW: &str = "bad-allow";
 /// Meta rule: allow directives that suppress nothing.
@@ -100,6 +104,16 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         name: UNDOCUMENTED_UNSAFE,
         summary: "`unsafe` requires a `// SAFETY:` comment on or directly above it",
+    },
+    RuleInfo {
+        name: BARE_JOIN_EXPECT,
+        summary: "`JoinHandle::join().expect(..)`/`.unwrap()` re-raises a worker panic in \
+                  the joining thread; collect the join Results and surface a typed error",
+    },
+    RuleInfo {
+        name: CATCH_UNWIND_AUDIT,
+        summary: "every `catch_unwind` site is a panic-isolation boundary and must carry \
+                  an allow directive auditing what it confines and where failures go",
     },
 ];
 
@@ -177,6 +191,8 @@ pub fn run_rules(file: &SourceFile, ctx: &FileCtx, cfg: &Config) -> Vec<Violatio
     narrowing_cast(file, ctx, cfg, &mut out);
     unwrap_in_lib(file, ctx, cfg, &mut out);
     undocumented_unsafe(file, ctx, cfg, &mut out);
+    bare_join_expect(file, ctx, cfg, &mut out);
+    catch_unwind_audit(file, ctx, cfg, &mut out);
     out.sort_by_key(|v| v.line);
     out
 }
@@ -471,6 +487,48 @@ fn undocumented_unsafe(file: &SourceFile, ctx: &FileCtx, cfg: &Config, out: &mut
                 line: idx + 1,
                 message: "`unsafe` without a `// SAFETY:` comment on or directly above it; \
                           state the invariant that makes this sound"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Argless `.join()` is what disambiguates a thread join from
+/// `Path::join`/`slice::join`, both of which take an argument.
+const JOIN_PATTERNS: [&str; 2] = [".join().expect(", ".join().unwrap()"];
+
+fn bare_join_expect(file: &SourceFile, ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !active(cfg, ctx, BARE_JOIN_EXPECT, line) {
+            continue;
+        }
+        if let Some(p) = JOIN_PATTERNS.iter().find(|p| line.code.contains(*p)) {
+            out.push(Violation {
+                rule: BARE_JOIN_EXPECT,
+                line: idx + 1,
+                message: format!(
+                    "`{p}..)` re-raises a worker panic in the joining thread, aborting the \
+                     whole batch; collect the join Results and surface a typed error (as \
+                     try_compute_catalog does), or allow with the reason the worker cannot \
+                     panic"
+                ),
+            });
+        }
+    }
+}
+
+fn catch_unwind_audit(file: &SourceFile, ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violation>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if !active(cfg, ctx, CATCH_UNWIND_AUDIT, line) {
+            continue;
+        }
+        if line.code.contains("catch_unwind(") {
+            out.push(Violation {
+                rule: CATCH_UNWIND_AUDIT,
+                line: idx + 1,
+                message: "`catch_unwind` erects a panic-isolation boundary that must be \
+                          audited: allow with a reason stating what can panic inside, why \
+                          the closure is unwind-safe, and how the failure is reported onward"
                     .to_string(),
             });
         }

@@ -1,0 +1,41 @@
+// Must-NOT-fire corpus for `bare-join-expect`: collected join results,
+// argful (non-thread) joins, prose, test code, and a justified allow.
+
+fn collected(handles: Vec<std::thread::JoinHandle<u64>>) -> Result<u64, String> {
+    let mut total = 0;
+    for h in handles {
+        match h.join() {
+            Ok(v) => total += v,
+            Err(_) => return Err("worker panicked".to_string()),
+        }
+    }
+    Ok(total)
+}
+
+/// `Path::join` and `slice::join` take an argument, so they never look
+/// like the argless thread `.join()` the pattern requires.
+fn argful_joins(dir: &std::path::Path, parts: &[String]) -> String {
+    let p = dir.join("segment.txt");
+    format!("{}:{}", p.display(), parts.join(","))
+}
+
+fn prose() -> usize {
+    let msg = "docs may quote .join().expect( and .join().unwrap() freely";
+    msg.len()
+}
+
+fn justified(h: std::thread::JoinHandle<u64>) -> u64 {
+    // lint: allow(bare-join-expect): the worker body is a pure integer
+    // fold over validated input and cannot panic; an abort here would
+    // itself be the bug worth catching loudly
+    h.join().expect("infallible worker")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_join_expect() {
+        let h = std::thread::spawn(|| 7u64);
+        assert_eq!(h.join().expect("test worker"), 7);
+    }
+}

@@ -1,0 +1,14 @@
+// Must-fire corpus for `bare-join-expect`: thread joins that re-raise
+// a worker panic instead of surfacing a typed error.
+
+fn join_all(handles: Vec<std::thread::JoinHandle<u64>>) -> u64 {
+    let mut total = 0;
+    for h in handles {
+        total += h.join().expect("worker panicked"); //~ FIRE bare-join-expect
+    }
+    total
+}
+
+fn join_one(h: std::thread::JoinHandle<()>) {
+    h.join().unwrap(); //~ FIRE bare-join-expect
+}

@@ -1,0 +1,12 @@
+// Must-fire corpus for `catch-unwind-audit`: panic-isolation
+// boundaries with no written audit.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn swallow(f: impl FnOnce() -> u32) -> Option<u32> {
+    catch_unwind(AssertUnwindSafe(f)).ok() //~ FIRE catch-unwind-audit
+}
+
+fn qualified(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    std::panic::catch_unwind(f).is_ok() //~ FIRE catch-unwind-audit
+}

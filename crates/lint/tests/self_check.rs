@@ -29,6 +29,8 @@ fn rules_for(stem: &str) -> Vec<&'static str> {
         "narrowing_cast" => vec!["narrowing-cast"],
         "unwrap_in_lib" => vec!["unwrap-in-lib"],
         "undocumented_unsafe" => vec!["undocumented-unsafe"],
+        "bare_join_expect" => vec!["bare-join-expect"],
+        "catch_unwind_audit" => vec!["catch-unwind-audit"],
         // Meta-rule fixtures: bad-allow needs no base rule at all;
         // unused-allow needs one active rule its second case can miss.
         "bad_allow" => vec![],

@@ -1,0 +1,45 @@
+//! # ts-server
+//!
+//! A resilient embedded serving layer over the nine evaluation methods
+//! of §6: the piece a production deployment of the paper's system would
+//! wrap around the catalog.
+//!
+//! Design, in one pass through a query's life:
+//!
+//! * **Admission** — [`Server::submit`] pushes onto a bounded queue.
+//!   A full queue is *load shedding*: the caller gets a typed
+//!   [`ServerError::Overloaded`] with a retry-after hint derived from
+//!   the observed service rate, never an unbounded wait.
+//! * **Budget** — every admitted query carries a [`ts_exec::Budget`]
+//!   (wall-clock deadline measured from admission, step quota, row
+//!   quota, server-wide cancellation token) threaded through the
+//!   cooperative [`ts_exec::Work`] meter that every operator already
+//!   polls at batch boundaries.
+//! * **Snapshot** — workers evaluate against an immutable
+//!   [`ts_core::Snapshot`] shared via `Arc`; [`Server::publish`] swaps
+//!   the `Arc` and bumps the epoch. In-flight queries finish on the
+//!   snapshot they started with; nothing is ever mutated in place.
+//! * **Degradation** — a budget-exhausted query is not an error: the
+//!   partial result ships as [`QueryResponse::Degraded`], and when the
+//!   *step* quota blows on an expensive method the worker reruns the
+//!   cheap `Full-Top`/`Full-Top-k` baseline (fresh quota, original
+//!   deadline) before giving up — the planner's choice is a
+//!   performance bet, not a correctness dependency.
+//! * **Isolation** — the whole per-query evaluation runs under
+//!   `catch_unwind`: a panicking query (including every injected
+//!   `ts_storage::faults` panic) becomes [`QueryResponse::Failed`] for
+//!   that one caller while the worker thread lives on.
+//!
+//! The [`stress`] module is the closed-loop driver that replays
+//! `ts_biozon::workload::query_mix` against a server and reports
+//! throughput/latency/shed/degraded figures (`BENCH_serving.json`).
+
+#![forbid(unsafe_code)]
+
+pub mod server;
+pub mod stress;
+
+pub use server::{
+    BudgetSpec, QueryResponse, Server, ServerConfig, ServerError, ShutdownReport, Stats, Ticket,
+};
+pub use stress::{run_stress, StressOptions, StressReport};

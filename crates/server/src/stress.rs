@@ -1,0 +1,204 @@
+//! Closed-loop workload driver: `clients` threads replay the
+//! deterministic `ts_biozon::workload::query_mix` against a [`Server`],
+//! each waiting for its response before submitting the next query, and
+//! the merged latencies become the serving figures checked into
+//! `BENCH_serving.json`.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ts_biozon::SchemaIds;
+use ts_core::Method;
+
+use crate::server::{QueryResponse, Server, ServerError};
+
+/// Driver parameters.
+#[derive(Debug, Clone)]
+pub struct StressOptions {
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Total queries across all clients.
+    pub queries: usize,
+    /// Workload seed (same seed → same queries in the same per-client
+    /// order on every machine).
+    pub seed: u64,
+}
+
+impl Default for StressOptions {
+    fn default() -> Self {
+        StressOptions { clients: 4, queries: 240, seed: 0xB10_0AD5 }
+    }
+}
+
+/// What one stress run observed.
+#[derive(Debug, Clone)]
+pub struct StressReport {
+    /// Queries attempted (submits, including shed ones).
+    pub attempted: u64,
+    /// Queries that received a response.
+    pub completed: u64,
+    /// `Ok` responses.
+    pub ok: u64,
+    /// `Degraded` responses.
+    pub degraded: u64,
+    /// `Rejected` responses.
+    pub rejected: u64,
+    /// `Failed` responses (isolated panics).
+    pub failed: u64,
+    /// Submissions shed with `Overloaded`.
+    pub shed: u64,
+    /// Completed queries per second of wall clock.
+    pub qps: f64,
+    /// Median end-to-end latency (submit → response), microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_us: u64,
+    /// shed / attempted.
+    pub shed_rate: f64,
+    /// degraded / completed.
+    pub degraded_rate: f64,
+    /// Total wall clock of the run, milliseconds.
+    pub wall_ms: f64,
+}
+
+impl StressReport {
+    /// Hand-rolled JSON (the workspace has no serde): one flat object,
+    /// keys stable for CI field checks.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"attempted\": {},\n  \"completed\": {},\n  \"ok\": {},\n  \
+             \"degraded\": {},\n  \"rejected\": {},\n  \"failed\": {},\n  \"shed\": {},\n  \
+             \"qps\": {:.1},\n  \"p50_us\": {},\n  \"p99_us\": {},\n  \
+             \"shed_rate\": {:.4},\n  \"degraded_rate\": {:.4},\n  \"wall_ms\": {:.1}\n}}\n",
+            self.attempted,
+            self.completed,
+            self.ok,
+            self.degraded,
+            self.rejected,
+            self.failed,
+            self.shed,
+            self.qps,
+            self.p50_us,
+            self.p99_us,
+            self.shed_rate,
+            self.degraded_rate,
+            self.wall_ms
+        )
+    }
+}
+
+/// SplitMix64, duplicated from the workload module so the method mix is
+/// derived from the same seed family without exporting a private RNG.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The serving method mix: everything but SQL (whose two-to-three
+/// orders of magnitude, the paper's §6.2 point, would turn a stress run
+/// into a SQL benchmark).
+const METHODS: [Method; 8] = [
+    Method::FullTop,
+    Method::FastTop,
+    Method::FullTopK,
+    Method::FastTopK,
+    Method::FullTopKEt,
+    Method::FastTopKEt,
+    Method::FullTopKOpt,
+    Method::FastTopKOpt,
+];
+
+#[derive(Default)]
+struct Tally {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    degraded: u64,
+    rejected: u64,
+    failed: u64,
+    shed: u64,
+    attempted: u64,
+}
+
+/// Run the closed loop and merge per-client tallies.
+pub fn run_stress(server: &Server, ids: &SchemaIds, opts: &StressOptions) -> StressReport {
+    let l = server.snapshot().catalog.l;
+    let clients = opts.clients.max(1);
+    let per_client = opts.queries.div_ceil(clients);
+    let merged = Mutex::new(Tally::default());
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let merged = &merged;
+            let seed = opts.seed.wrapping_add((c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            scope.spawn(move || {
+                let mix = ts_biozon::query_mix(ids, l, per_client, seed);
+                let mut rng = seed ^ 0x5ca1_ab1e;
+                let mut tally = Tally::default();
+                for q in mix {
+                    let method = METHODS[(splitmix(&mut rng) % METHODS.len() as u64) as usize];
+                    tally.attempted += 1;
+                    let t0 = Instant::now();
+                    match server.submit(method, q) {
+                        Err(ServerError::ShuttingDown) => break,
+                        Err(ServerError::Overloaded { retry_after_ms, .. }) => {
+                            tally.shed += 1;
+                            // Closed loop: back off for the hinted
+                            // interval (capped — this is a bench, not a
+                            // production client) and move on.
+                            std::thread::sleep(Duration::from_millis(retry_after_ms.min(5)));
+                        }
+                        Ok(ticket) => {
+                            let resp = ticket.wait();
+                            tally.latencies_us.push(t0.elapsed().as_micros() as u64);
+                            match resp {
+                                QueryResponse::Ok(_) => tally.ok += 1,
+                                QueryResponse::Degraded { .. } => tally.degraded += 1,
+                                QueryResponse::Rejected(_) => tally.rejected += 1,
+                                QueryResponse::Failed(_) => tally.failed += 1,
+                            }
+                        }
+                    }
+                }
+                let mut m = merged.lock().unwrap_or_else(|p| p.into_inner());
+                m.latencies_us.extend_from_slice(&tally.latencies_us);
+                m.ok += tally.ok;
+                m.degraded += tally.degraded;
+                m.rejected += tally.rejected;
+                m.failed += tally.failed;
+                m.shed += tally.shed;
+                m.attempted += tally.attempted;
+            });
+        }
+    });
+
+    let wall = start.elapsed();
+    let mut t = merged.into_inner().unwrap_or_else(|p| p.into_inner());
+    t.latencies_us.sort_unstable();
+    let completed = t.latencies_us.len() as u64;
+    let pct = |p: usize| -> u64 {
+        if t.latencies_us.is_empty() {
+            0
+        } else {
+            t.latencies_us[(t.latencies_us.len() * p / 100).min(t.latencies_us.len() - 1)]
+        }
+    };
+    StressReport {
+        attempted: t.attempted,
+        completed,
+        ok: t.ok,
+        degraded: t.degraded,
+        rejected: t.rejected,
+        failed: t.failed,
+        shed: t.shed,
+        qps: completed as f64 / wall.as_secs_f64().max(1e-9),
+        p50_us: pct(50),
+        p99_us: pct(99),
+        shed_rate: if t.attempted > 0 { t.shed as f64 / t.attempted as f64 } else { 0.0 },
+        degraded_rate: if completed > 0 { t.degraded as f64 / completed as f64 } else { 0.0 },
+        wall_ms: wall.as_secs_f64() * 1e3,
+    }
+}

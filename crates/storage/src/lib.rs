@@ -31,6 +31,7 @@ pub mod cast;
 pub mod column;
 pub mod db;
 pub mod error;
+pub mod faults;
 pub mod hash;
 pub mod index;
 pub mod predicate;

@@ -142,8 +142,8 @@ fn idgj_and_hdgj_plans_agree() {
             3,
         )
         .with_k(10);
-        let i = et::eval(&ctx, &q, et::Variant::Fast, EtPlanKind::Idgj);
-        let h = et::eval(&ctx, &q, et::Variant::Fast, EtPlanKind::Hdgj);
+        let i = et::eval(&ctx, &q, et::Variant::Fast, EtPlanKind::Idgj, exec::Work::new());
+        let h = et::eval(&ctx, &q, et::Variant::Fast, EtPlanKind::Hdgj, exec::Work::new());
         assert_eq!(i.tid_set(), h.tid_set(), "{ps}: IDGJ vs HDGJ");
     }
 }
