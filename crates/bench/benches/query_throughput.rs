@@ -1,0 +1,298 @@
+//! Query-throughput benchmark: vectorized batch engine vs the original
+//! tuple-at-a-time Volcano engine, with a machine-readable trajectory.
+//!
+//! Two layers are timed at each size, and both land in
+//! `BENCH_query_throughput.json`:
+//!
+//! * **Per-operator rows/s** — each relational operator (scan, filter,
+//!   hash join, sort, distinct) drained over the same catalog/entity
+//!   tables through its tuple implementation and its batch twin. The
+//!   batch drain consumes column batches (no per-row `Vec<Value>`
+//!   materialization); the ratio is the vectorization speedup.
+//! * **End-to-end qps** — the deterministic `ts_biozon::query_mix`
+//!   replayed through `Method::eval` (all nine methods, round-robin)
+//!   once per engine via `ts_exec::set_engine`.
+//!
+//! Knobs:
+//!
+//! * `TS_BENCH_SIZES` — comma-separated subset of `tiny,small,medium`
+//!   (default `medium`; CI runs `tiny`).
+//! * `TS_BENCH_JSON` — output path (default:
+//!   `BENCH_query_throughput.json` at the workspace root).
+//! * `TS_BENCH_SCALE` — extra multiplier on every size (ts-bench wide).
+
+use std::time::Instant;
+
+use ts_bench::{build_env, header, BenchEnv, EnvOptions};
+use ts_core::Method;
+use ts_exec::{
+    set_engine, BatchDistinct, BatchFilter, BatchHashJoin, BatchOperator, BatchSort,
+    BatchTableScan, BoxedBatchOp, BoxedOp, Dir, Distinct, Engine, Filter, HashJoin, Operator, Sort,
+    TableScan, Work,
+};
+use ts_storage::{Predicate, Table};
+
+struct SizeSpec {
+    name: &'static str,
+    scale: f64,
+    queries: usize,
+}
+
+const SIZES: &[SizeSpec] = &[
+    SizeSpec { name: "tiny", scale: 0.05, queries: 60 },
+    SizeSpec { name: "small", scale: 0.1, queries: 90 },
+    SizeSpec { name: "medium", scale: 0.25, queries: 120 },
+];
+
+struct OpRow {
+    op: &'static str,
+    /// Rows the operator emits in one full drain (identical for both
+    /// engines — the differential tests prove it).
+    rows: u64,
+    tuple_rows_per_s: f64,
+    batch_rows_per_s: f64,
+}
+
+impl OpRow {
+    fn speedup(&self) -> f64 {
+        if self.tuple_rows_per_s > 0.0 {
+            self.batch_rows_per_s / self.tuple_rows_per_s
+        } else {
+            0.0
+        }
+    }
+}
+
+struct SizeRow {
+    size: &'static str,
+    scale: f64,
+    ops: Vec<OpRow>,
+    e2e_queries: usize,
+    e2e_qps_tuple: f64,
+    e2e_qps_batch: f64,
+}
+
+/// Drain a tuple operator; the row count is the unit of throughput.
+fn drain_tuple(op: &mut dyn Operator) -> u64 {
+    let mut n = 0;
+    while let Some(r) = op.next() {
+        std::hint::black_box(&r);
+        n += 1;
+    }
+    n
+}
+
+/// Drain a batch operator; selected rows are the unit of throughput.
+fn drain_batch<'a>(op: &mut dyn BatchOperator<'a>) -> u64 {
+    let mut n = 0;
+    while let Some(b) = op.next_batch() {
+        std::hint::black_box(&b);
+        n += b.selected() as u64;
+    }
+    n
+}
+
+/// Repeat `pass` until the timer has something to chew on (>= 3 passes
+/// and >= 80 ms), then return (rows per pass, rows per second).
+fn rate(mut pass: impl FnMut() -> u64) -> (u64, f64) {
+    let per_pass = pass(); // warmup, and the reported row count
+    let start = Instant::now();
+    let mut total = 0u64;
+    let mut passes = 0u32;
+    while passes < 3 || (start.elapsed().as_millis() < 80 && passes < 10_000) {
+        total += pass();
+        passes += 1;
+    }
+    (per_pass, total as f64 / start.elapsed().as_secs_f64())
+}
+
+fn measure_op(
+    op: &'static str,
+    tuple_pass: impl FnMut() -> u64,
+    batch_pass: impl FnMut() -> u64,
+) -> OpRow {
+    let (rows, tuple_rows_per_s) = rate(tuple_pass);
+    let (brows, batch_rows_per_s) = rate(batch_pass);
+    assert_eq!(rows, brows, "{op}: engines drained different row counts");
+    OpRow { op, rows, tuple_rows_per_s, batch_rows_per_s }
+}
+
+fn operator_rows(env: &BenchEnv) -> Vec<OpRow> {
+    let tops: &Table = &env.catalog.alltops;
+    let def = env.biozon.db.entity_set(env.biozon.ids.protein as usize);
+    let prot = env.biozon.db.table(def.table);
+    let prot_pk = prot.schema().primary_key.expect("entity sets have primary keys");
+    let med = ts_biozon::selectivity_predicate(ts_biozon::Selectivity::Medium);
+    let keys = vec![(2, Dir::Asc), (0, Dir::Asc)];
+
+    vec![
+        measure_op(
+            "scan",
+            || drain_tuple(&mut TableScan::new(tops, Predicate::True, Work::new())),
+            || drain_batch(&mut BatchTableScan::new(tops, Predicate::True, Work::new())),
+        ),
+        measure_op(
+            "filter",
+            || {
+                let scan: BoxedOp<'_> =
+                    Box::new(TableScan::new(prot, Predicate::True, Work::new()));
+                drain_tuple(&mut Filter::new(scan, med.clone(), Work::new()))
+            },
+            || {
+                let scan: BoxedBatchOp<'_> =
+                    Box::new(BatchTableScan::new(prot, Predicate::True, Work::new()));
+                drain_batch(&mut BatchFilter::new(scan, med.clone(), Work::new()))
+            },
+        ),
+        measure_op(
+            "join",
+            || {
+                let probe: BoxedOp<'_> =
+                    Box::new(TableScan::new(tops, Predicate::True, Work::new()));
+                let build: BoxedOp<'_> =
+                    Box::new(TableScan::new(prot, Predicate::True, Work::new()));
+                drain_tuple(&mut HashJoin::new(probe, 0, build, prot_pk, Work::new()))
+            },
+            || {
+                let probe: BoxedBatchOp<'_> =
+                    Box::new(BatchTableScan::new(tops, Predicate::True, Work::new()));
+                let build: BoxedBatchOp<'_> =
+                    Box::new(BatchTableScan::new(prot, Predicate::True, Work::new()));
+                drain_batch(&mut BatchHashJoin::new(probe, 0, build, prot_pk, Work::new()))
+            },
+        ),
+        measure_op(
+            "sort",
+            || {
+                let scan: BoxedOp<'_> =
+                    Box::new(TableScan::new(tops, Predicate::True, Work::new()));
+                drain_tuple(&mut Sort::new(scan, keys.clone(), Work::new()))
+            },
+            || {
+                let scan: BoxedBatchOp<'_> =
+                    Box::new(BatchTableScan::new(tops, Predicate::True, Work::new()));
+                drain_batch(&mut BatchSort::new(scan, keys.clone(), Work::new()))
+            },
+        ),
+        measure_op(
+            "distinct",
+            || {
+                let scan: BoxedOp<'_> =
+                    Box::new(TableScan::new(tops, Predicate::True, Work::new()));
+                drain_tuple(&mut Distinct::new(scan, vec![2], Work::new()))
+            },
+            || {
+                let scan: BoxedBatchOp<'_> =
+                    Box::new(BatchTableScan::new(tops, Predicate::True, Work::new()));
+                drain_batch(&mut BatchDistinct::new(scan, vec![2], Work::new()))
+            },
+        ),
+    ]
+}
+
+/// Replay the deterministic workload through `Method::eval` on one
+/// engine; queries per second over the whole mix.
+fn e2e_qps(env: &BenchEnv, queries: usize, engine: Engine) -> f64 {
+    set_engine(engine);
+    let ctx = env.ctx();
+    let qs = ts_biozon::query_mix(&env.biozon.ids, 3, queries, 0xB10_0CAF);
+    let methods = Method::all();
+    let start = Instant::now();
+    let mut sink = 0usize;
+    for (i, q) in qs.iter().enumerate() {
+        sink += methods[i % methods.len()].eval(&ctx, q).topologies.len();
+    }
+    std::hint::black_box(sink);
+    qs.len() as f64 / start.elapsed().as_secs_f64()
+}
+
+fn run_size(spec: &SizeSpec) -> SizeRow {
+    let env = build_env(EnvOptions { scale: spec.scale, ..EnvOptions::default() });
+
+    let ops = operator_rows(&env);
+    for op in &ops {
+        println!(
+            "  {:<8} {:<9} {:>12.0} -> {:>12.0} rows/s  ({} rows, {:.2}x)",
+            spec.name,
+            op.op,
+            op.tuple_rows_per_s,
+            op.batch_rows_per_s,
+            op.rows,
+            op.speedup()
+        );
+    }
+
+    let e2e_qps_tuple = e2e_qps(&env, spec.queries, Engine::Tuple);
+    let e2e_qps_batch = e2e_qps(&env, spec.queries, Engine::Batch);
+    set_engine(Engine::Batch); // restore the default engine
+    println!(
+        "  {:<8} {:<9} {:>12.1} -> {:>12.1} qps     ({} queries, {:.2}x)",
+        spec.name,
+        "e2e",
+        e2e_qps_tuple,
+        e2e_qps_batch,
+        spec.queries,
+        if e2e_qps_tuple > 0.0 { e2e_qps_batch / e2e_qps_tuple } else { 0.0 }
+    );
+
+    SizeRow {
+        size: spec.name,
+        scale: spec.scale,
+        ops,
+        e2e_queries: spec.queries,
+        e2e_qps_tuple,
+        e2e_qps_batch,
+    }
+}
+
+fn emit_json(rows: &[SizeRow]) {
+    // Cargo runs bench executables with cwd = the package dir
+    // (crates/bench), so the default aims at the workspace root, where
+    // the recorded trajectory lives.
+    let path = std::env::var("TS_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_query_throughput.json").into()
+    });
+    let mut out = String::from("{\n  \"bench\": \"query_throughput\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!("    {{\"size\": \"{}\", \"scale\": {}", row.size, row.scale));
+        for op in &row.ops {
+            out.push_str(&format!(
+                ", \"{op}_rows\": {}, \"{op}_tuple_rows_per_s\": {:.0}, \
+                 \"{op}_batch_rows_per_s\": {:.0}, \"{op}_speedup\": {:.2}",
+                op.rows,
+                op.tuple_rows_per_s,
+                op.batch_rows_per_s,
+                op.speedup(),
+                op = op.op,
+            ));
+        }
+        let e2e_speedup =
+            if row.e2e_qps_tuple > 0.0 { row.e2e_qps_batch / row.e2e_qps_tuple } else { 0.0 };
+        out.push_str(&format!(
+            ", \"e2e_queries\": {}, \"e2e_qps_tuple\": {:.1}, \"e2e_qps_batch\": {:.1}, \
+             \"e2e_speedup\": {:.2}}}{}\n",
+            row.e2e_queries,
+            row.e2e_qps_tuple,
+            row.e2e_qps_batch,
+            e2e_speedup,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(&path, out).expect("write bench json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    header("query_throughput: batch engine vs tuple engine");
+    let sizes = std::env::var("TS_BENCH_SIZES").unwrap_or_else(|_| "medium".into());
+    let mut rows = Vec::new();
+    for spec in SIZES {
+        if !sizes.split(',').any(|s| s.trim() == spec.name) {
+            continue;
+        }
+        rows.push(run_size(spec));
+    }
+    assert!(!rows.is_empty(), "TS_BENCH_SIZES selected no size (tiny,small,medium)");
+    emit_json(&rows);
+}

@@ -45,6 +45,16 @@ pub fn entity_table<'a>(ctx: &QueryContext<'a>, es: u16) -> (&'a Table, usize) {
 pub fn selected_ids(ctx: &QueryContext<'_>, es: u16, con: &Predicate, work: &Work) -> FastSet<i64> {
     let (table, pk) = entity_table(ctx, es);
     let mut out = FastSet::default();
+    if ts_exec::engine() == ts_exec::Engine::Batch {
+        use ts_exec::BatchOperator;
+        let mut scan = ts_exec::BatchTableScan::new(table, con.clone(), work.clone());
+        while let Some(b) = scan.next_batch() {
+            for i in b.sel_iter() {
+                out.insert(b.value(pk, i).as_int());
+            }
+        }
+        return out;
+    }
     for row in table.rows() {
         work.tick(1);
         if con.eval_ref(row) {

@@ -112,6 +112,48 @@ pub fn run_et_plan(
         rows.push(row![tid as i64]);
     }
 
+    if ts_exec::engine() == ts_exec::Engine::Batch {
+        // Vectorized stack: the same Fig. 15 plan shape, batch-at-a-time.
+        use ts_exec::{
+            batch_collect_distinct_topk_budgeted, BatchFilter, BatchHdgj, BatchIdgj,
+            BatchTableScan, BatchValuesScan, BoxedBatchOp,
+        };
+        let scan: BoxedBatchOp<'_> = Box::new(BatchValuesScan::grouped(rows, 0, work.clone()));
+        let expand: BoxedBatchOp<'_> =
+            Box::new(BatchIdgj::new(scan, 0, tops_table, 2, 0, work.clone()));
+        let mut top: BoxedBatchOp<'_> = match plan {
+            EtPlanKind::Idgj => {
+                let j1: BoxedBatchOp<'_> =
+                    Box::new(BatchIdgj::new(expand, 1, from_table, from_pk, 0, work.clone()));
+                let f1: BoxedBatchOp<'_> =
+                    Box::new(BatchFilter::new(j1, shift_predicate(o.con_from, 4), work.clone()));
+                let j2: BoxedBatchOp<'_> =
+                    Box::new(BatchIdgj::new(f1, 2, to_table, to_pk, 0, work.clone()));
+                Box::new(BatchFilter::new(
+                    j2,
+                    shift_predicate(o.con_to, 4 + from_table.schema().arity()),
+                    work.clone(),
+                ))
+            }
+            EtPlanKind::Hdgj => {
+                let from_scan: BoxedBatchOp<'_> =
+                    Box::new(BatchTableScan::new(from_table, o.con_from.clone(), work.clone()));
+                let j1: BoxedBatchOp<'_> =
+                    Box::new(BatchHdgj::new(expand, 1, from_scan, from_pk, 0, work.clone()));
+                let to_scan: BoxedBatchOp<'_> =
+                    Box::new(BatchTableScan::new(to_table, o.con_to.clone(), work.clone()));
+                Box::new(BatchHdgj::new(j1, 2, to_scan, to_pk, 0, work.clone()))
+            }
+        };
+        return batch_collect_distinct_topk_budgeted(top.as_mut(), 0, k, work)
+            .into_iter()
+            .map(|r| {
+                let tid = r.get(0).as_int() as TopologyId;
+                (tid, score_of.get(&tid).copied().unwrap_or(0.0))
+            })
+            .collect();
+    }
+
     let scan: BoxedOp<'_> = Box::new(ValuesScan::grouped(rows, 0, work.clone()));
     // Expand each topology into its (E1, E2, TID) rows. Output:
     // [TID, E1, E2, TID'].

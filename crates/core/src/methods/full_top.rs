@@ -93,6 +93,26 @@ pub(crate) fn distinct_tids(
         let mut v: Vec<crate::catalog::TopologyId> = out.into_iter().collect();
         v.sort_unstable();
         v
+    } else if ts_exec::engine() == ts_exec::Engine::Batch {
+        // Hash plan, vectorized: the same operator shape, batch-at-a-time.
+        use ts_exec::{
+            batch_collect_all_budgeted, BatchDistinct, BatchHashJoin, BatchTableScan, BoxedBatchOp,
+        };
+        let tops_scan: BoxedBatchOp<'_> =
+            Box::new(BatchTableScan::new(tops_table, Predicate::True, work.clone()));
+        let from_scan: BoxedBatchOp<'_> =
+            Box::new(BatchTableScan::new(from_table, o.con_from.clone(), work.clone()));
+        let j1: BoxedBatchOp<'_> =
+            Box::new(BatchHashJoin::new(tops_scan, 0, from_scan, from_pk, work.clone()));
+        let to_scan: BoxedBatchOp<'_> =
+            Box::new(BatchTableScan::new(to_table, o.con_to.clone(), work.clone()));
+        let j2: BoxedBatchOp<'_> =
+            Box::new(BatchHashJoin::new(j1, 1, to_scan, to_pk, work.clone()));
+        let mut distinct = BatchDistinct::new(j2, vec![2], work.clone());
+        batch_collect_all_budgeted(&mut distinct, work)
+            .into_iter()
+            .map(|r| r.get(2).as_int() as crate::catalog::TopologyId)
+            .collect()
     } else {
         // Hash plan: Scan(tops) ⋈E1=pk σ(from) ⋈E2=pk σ(to), distinct TID.
         let tops_scan: BoxedOp<'_> =

@@ -21,6 +21,8 @@
 use ts_storage::faults::{self, sites, FireAction};
 use ts_storage::{FastMap, Row, Table, Value};
 
+use crate::batch::{Batch, BatchOperator, BoxedBatchOp};
+use crate::join::probe_inner_columnwise;
 use crate::op::{BoxedOp, Operator, Work};
 
 /// Index nested-loops DGJ.
@@ -144,6 +146,169 @@ impl Operator for Idgj<'_> {
                             self.lookahead = Some(r);
                             break;
                         }
+                    }
+                }
+            }
+        }
+        self.current_group = None;
+    }
+}
+
+/// Vectorized index nested-loops DGJ.
+///
+/// Consumes the group-clustered outer stream one batch at a time and
+/// probes `inner`'s index per outer row, emitting one output batch per
+/// consumed outer batch. Both stream invariants hold: outer batches of
+/// a grouped input carry exactly one group, so output batches do too
+/// (property (a)); with an ungrouped outer, each pulled batch is split
+/// at its first group boundary and the remainder parked as lookahead.
+pub struct BatchIdgj<'a> {
+    outer: BoxedBatchOp<'a>,
+    inner: &'a Table,
+    outer_col: usize,
+    inner_col: usize,
+    group_col: usize,
+    /// Parked outer batches, in stream order: unprobed chunk remainders
+    /// of the current group, split remainders, and the first batch of
+    /// the next group buffered by the advance fallback. Invariant: any
+    /// front batch still in `current_group` is an unprobed remainder;
+    /// batches behind it start later groups.
+    pending: std::collections::VecDeque<Batch<'a>>,
+    current_group: Option<Value>,
+    /// Outer rows probed per pull within the current group; starts at
+    /// [`PROBE_CHUNK0`] and doubles, so an early-terminating consumer
+    /// that skips after the first witness abandons most of the group's
+    /// probes while full drains amortize to whole batches.
+    chunk: usize,
+    work: Work,
+}
+
+/// First probe chunk of each [`BatchIdgj`] group (see `chunk` above).
+const PROBE_CHUNK0: usize = 4;
+
+impl<'a> BatchIdgj<'a> {
+    /// Build a batch IDGJ over a group-clustered outer stream.
+    pub fn new(
+        outer: BoxedBatchOp<'a>,
+        outer_col: usize,
+        inner: &'a Table,
+        inner_col: usize,
+        group_col: usize,
+        work: Work,
+    ) -> Self {
+        BatchIdgj {
+            outer,
+            inner,
+            outer_col,
+            inner_col,
+            group_col,
+            pending: std::collections::VecDeque::new(),
+            current_group: None,
+            chunk: PROBE_CHUNK0,
+            work,
+        }
+    }
+
+    /// Pull the next single-group outer batch, splitting a multi-group
+    /// batch (possible only with an ungrouped outer) at its first
+    /// boundary and parking the remainder.
+    fn next_outer(&mut self) -> Option<Batch<'a>> {
+        let mut b = self.pending.pop_front().or_else(|| self.outer.next_batch())?;
+        let group = b.value(self.group_col, b.first().expect("non-empty batch"));
+        let split: Vec<u32> = b
+            .sel_iter()
+            .skip_while(|&i| b.value(self.group_col, i) == group)
+            .map(ts_storage::cast::to_u32)
+            .collect();
+        if !split.is_empty() {
+            let keep: Vec<u32> = b
+                .sel_iter()
+                .take(b.selected() - split.len())
+                .map(ts_storage::cast::to_u32)
+                .collect();
+            let mut rest = b.clone();
+            rest.set_sel(split);
+            self.pending.push_front(rest);
+            b.set_sel(keep);
+        }
+        Some(b)
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchIdgj<'a> {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        loop {
+            if self.work.interrupted() {
+                return None;
+            }
+            if let FireAction::Starve = faults::fire(sites::EXEC_DGJ_PROBE) {
+                self.work.starve();
+                return None;
+            }
+            let mut ob = self.next_outer()?;
+            let group = ob.value(self.group_col, ob.first().expect("non-empty batch"));
+            if self.current_group.as_ref() != Some(&group) {
+                self.chunk = PROBE_CHUNK0;
+            }
+            self.current_group = Some(group);
+            // Probe at most `chunk` outer rows this pull; park the rest
+            // of the group so a group skip can abandon it unprobed.
+            if ob.selected() > self.chunk {
+                let keep: Vec<u32> =
+                    ob.sel_iter().take(self.chunk).map(ts_storage::cast::to_u32).collect();
+                let rest: Vec<u32> =
+                    ob.sel_iter().skip(self.chunk).map(ts_storage::cast::to_u32).collect();
+                let mut r = ob.clone();
+                r.set_sel(rest);
+                self.pending.push_front(r);
+                ob.set_sel(keep);
+            }
+            self.chunk = (self.chunk * 2).min(crate::batch::batch_rows());
+            self.work.tick(ob.selected() as u64);
+            let out =
+                probe_inner_columnwise(&ob, self.inner, self.outer_col, self.inner_col, &self.work);
+            if let Some(b) = out {
+                return Some(b);
+            }
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.outer.rewind();
+        self.pending.clear();
+        self.current_group = None;
+    }
+
+    fn grouped(&self) -> bool {
+        true
+    }
+
+    fn advance_to_next_group(&mut self) {
+        let Some(current) = self.current_group.clone() else {
+            return; // nothing consumed yet: already at a group boundary
+        };
+        // Drop unprobed chunk remainders of the skipped group — this is
+        // the early-termination saving: those rows are never probed.
+        while let Some(front) = self.pending.front() {
+            let g = front.value(self.group_col, front.first().expect("non-empty batch"));
+            if g != current {
+                break;
+            }
+            self.pending.pop_front();
+        }
+        // A parked batch now starts a later group (deque invariant).
+        if self.pending.is_empty() {
+            if self.outer.grouped() {
+                self.outer.advance_to_next_group();
+            } else {
+                // Fallback: drain batches until the group changes,
+                // parking the first batch of the next group.
+                while let Some(b) = self.next_outer() {
+                    self.work.tick(b.selected() as u64);
+                    let g = b.value(self.group_col, b.first().expect("non-empty batch"));
+                    if g != current {
+                        self.pending.push_front(b);
+                        break;
                     }
                 }
             }
@@ -277,6 +442,156 @@ impl Operator for Hdgj<'_> {
     }
 }
 
+/// Vectorized hash DGJ: joins one group at a time, like the tuple
+/// [`Hdgj`] — gathers one group of outer rows (possibly several
+/// batches), hashes it on the join key, re-evaluates the inner operator
+/// from scratch (`rewind` + full batch scan), and emits the group's
+/// matches as a single output batch in outer order.
+pub struct BatchHdgj<'a> {
+    outer: BoxedBatchOp<'a>,
+    inner: BoxedBatchOp<'a>,
+    outer_col: usize,
+    inner_col: usize,
+    group_col: usize,
+    /// The current group's joined output, if not yet emitted.
+    queued: Option<Batch<'a>>,
+    /// Parked outer batch starting the next group (stream order).
+    pending: std::collections::VecDeque<Batch<'a>>,
+    exhausted: bool,
+    work: Work,
+}
+
+impl<'a> BatchHdgj<'a> {
+    /// Build a batch HDGJ over a group-clustered outer stream.
+    pub fn new(
+        outer: BoxedBatchOp<'a>,
+        outer_col: usize,
+        inner: BoxedBatchOp<'a>,
+        inner_col: usize,
+        group_col: usize,
+        work: Work,
+    ) -> Self {
+        BatchHdgj {
+            outer,
+            inner,
+            outer_col,
+            inner_col,
+            group_col,
+            queued: None,
+            pending: std::collections::VecDeque::new(),
+            exhausted: false,
+            work,
+        }
+    }
+
+    /// Pull the next single-group outer batch (splitting multi-group
+    /// batches from an ungrouped outer, as in [`BatchIdgj`]).
+    fn next_outer(&mut self) -> Option<Batch<'a>> {
+        let mut b = self.pending.pop_front().or_else(|| self.outer.next_batch())?;
+        let group = b.value(self.group_col, b.first().expect("non-empty batch"));
+        let split: Vec<u32> = b
+            .sel_iter()
+            .skip_while(|&i| b.value(self.group_col, i) == group)
+            .map(ts_storage::cast::to_u32)
+            .collect();
+        if !split.is_empty() {
+            let keep: Vec<u32> = b
+                .sel_iter()
+                .take(b.selected() - split.len())
+                .map(ts_storage::cast::to_u32)
+                .collect();
+            let mut rest = b.clone();
+            rest.set_sel(split);
+            self.pending.push_front(rest);
+            b.set_sel(keep);
+        }
+        Some(b)
+    }
+
+    /// Materialize the next group of outer rows and join it.
+    fn fill_group(&mut self) {
+        while self.queued.is_none() && !self.exhausted {
+            if self.work.interrupted() {
+                return;
+            }
+            if let FireAction::Starve = faults::fire(sites::EXEC_DGJ_PROBE) {
+                self.work.starve();
+                return;
+            }
+            // Gather one group of outer rows (may span several batches).
+            let Some(first) = self.next_outer() else {
+                self.exhausted = true;
+                return;
+            };
+            self.work.tick(first.selected() as u64);
+            let group = first.value(self.group_col, first.first().expect("non-empty batch"));
+            let mut group_rows: Vec<Row> = first.materialize();
+            while self.pending.is_empty() {
+                let Some(b) = self.next_outer() else { break };
+                let g = b.value(self.group_col, b.first().expect("non-empty batch"));
+                self.work.tick(b.selected() as u64);
+                if g == group {
+                    group_rows.extend(b.materialize());
+                } else {
+                    self.pending.push_front(b);
+                    break;
+                }
+            }
+            // Hash the group on the join key.
+            let mut hash: FastMap<Value, Vec<usize>> = FastMap::default();
+            for (i, r) in group_rows.iter().enumerate() {
+                hash.entry(r.get(self.outer_col).clone()).or_default().push(i);
+            }
+            // Re-evaluate the inner relation for this group.
+            self.inner.rewind();
+            let mut matches: Vec<(usize, Row)> = Vec::new();
+            while let Some(ib) = self.inner.next_batch() {
+                self.work.tick(ib.selected() as u64);
+                for ri in ib.sel_iter() {
+                    if let Some(idxs) = hash.get(&ib.value(self.inner_col, ri)) {
+                        for &i in idxs {
+                            matches.push((i, group_rows[i].concat(&ib.materialize_row(ri))));
+                        }
+                    }
+                }
+            }
+            // Emit in outer order within the group.
+            matches.sort_by_key(|&(i, _)| i);
+            if !matches.is_empty() {
+                let rows: Vec<Row> = matches.into_iter().map(|(_, r)| r).collect();
+                self.queued = Some(Batch::from_rows(&rows));
+            }
+            // If the group had no matches, loop to the next group.
+        }
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchHdgj<'a> {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        self.fill_group();
+        self.queued.take()
+    }
+
+    fn rewind(&mut self) {
+        self.outer.rewind();
+        self.inner.rewind();
+        self.queued = None;
+        self.pending.clear();
+        self.exhausted = false;
+    }
+
+    fn grouped(&self) -> bool {
+        true
+    }
+
+    fn advance_to_next_group(&mut self) {
+        // The current group is fully materialized in the queue; skipping
+        // is dropping the rest of it. (The inner re-scan for this group
+        // has already been paid — part of HDGJ's cost profile, §5.4.)
+        self.queued = None;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +710,83 @@ mod tests {
         let t = inner_table();
         let mut j = Idgj::new(grouped_outer(), 1, &t, 0, 0, Work::new());
         let top2 = collect_distinct_topk(&mut j, 0, 2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].get(0).as_int(), 100);
+        assert_eq!(top2[1].get(0).as_int(), 200);
+    }
+
+    fn batch_grouped_outer<'a>() -> BoxedBatchOp<'a> {
+        Box::new(crate::scan::BatchValuesScan::grouped(outer_rows(), 0, Work::new()))
+    }
+
+    #[test]
+    fn batch_idgj_matches_tuple_idgj() {
+        let t = inner_table();
+        let mut tup = Idgj::new(grouped_outer(), 1, &t, 0, 0, Work::new());
+        let mut bat = BatchIdgj::new(batch_grouped_outer(), 1, &t, 0, 0, Work::new());
+        assert_eq!(crate::driver::batch_collect_all(&mut bat), collect_all(&mut tup));
+    }
+
+    #[test]
+    fn batch_idgj_group_skip() {
+        let t = inner_table();
+        let mut j = BatchIdgj::new(batch_grouped_outer(), 1, &t, 0, 0, Work::new());
+        let first = j.next_batch().unwrap();
+        assert_eq!(first.try_int(0, first.first().unwrap()), Some(100));
+        j.advance_to_next_group();
+        let next = j.next_batch().unwrap();
+        assert_eq!(next.try_int(0, next.first().unwrap()), Some(200));
+    }
+
+    #[test]
+    fn batch_idgj_fallback_drain_when_input_ungrouped() {
+        let t = inner_table();
+        // Ungrouped outer: one multi-group batch, split internally.
+        let outer: BoxedBatchOp<'_> =
+            Box::new(crate::scan::BatchValuesScan::new(outer_rows(), Work::new()));
+        let mut j = BatchIdgj::new(outer, 1, &t, 0, 0, Work::new());
+        let b = j.next_batch().unwrap();
+        assert_eq!(b.try_int(0, b.first().unwrap()), Some(100));
+        j.advance_to_next_group();
+        assert_eq!(j.next_batch().map(|b| b.try_int(0, b.first().unwrap())), Some(Some(200)));
+    }
+
+    #[test]
+    fn batch_hdgj_matches_tuple_hdgj() {
+        let t = inner_table();
+        let inner_tup: BoxedOp<'_> = Box::new(TableScanHelper::new(&t));
+        let mut tup = Hdgj::new(grouped_outer(), 1, inner_tup, 0, 0, Work::new());
+        let inner_bat: crate::batch::BoxedBatchOp<'_> = Box::new(crate::scan::BatchTableScan::new(
+            &t,
+            ts_storage::Predicate::True,
+            Work::new(),
+        ));
+        let mut bat = BatchHdgj::new(batch_grouped_outer(), 1, inner_bat, 0, 0, Work::new());
+        assert_eq!(crate::driver::batch_collect_all(&mut bat), collect_all(&mut tup));
+    }
+
+    #[test]
+    fn batch_hdgj_group_skip_and_rescan_cost() {
+        let t = inner_table();
+        let w = Work::new();
+        let inner: crate::batch::BoxedBatchOp<'_> =
+            Box::new(crate::scan::BatchTableScan::new(&t, ts_storage::Predicate::True, w.clone()));
+        let mut h = BatchHdgj::new(batch_grouped_outer(), 1, inner, 0, 0, w.clone());
+        let first = h.next_batch().unwrap();
+        assert_eq!(first.try_int(0, first.first().unwrap()), Some(100));
+        h.advance_to_next_group();
+        let next = h.next_batch().unwrap();
+        assert_eq!(next.try_int(0, next.first().unwrap()), Some(200));
+        let _ = crate::driver::batch_collect_all(&mut h);
+        // Inner re-scanned per group: at least 3 groups × 3 inner rows.
+        assert!(w.get() >= 9, "work = {}", w.get());
+    }
+
+    #[test]
+    fn batch_distinct_topk_over_idgj() {
+        let t = inner_table();
+        let mut j = BatchIdgj::new(batch_grouped_outer(), 1, &t, 0, 0, Work::new());
+        let top2 = crate::driver::batch_collect_distinct_topk(&mut j, 0, 2);
         assert_eq!(top2.len(), 2);
         assert_eq!(top2[0].get(0).as_int(), 100);
         assert_eq!(top2[1].get(0).as_int(), 200);

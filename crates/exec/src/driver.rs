@@ -16,6 +16,7 @@
 use ts_storage::faults::{self, sites, FireAction};
 use ts_storage::{Row, Value};
 
+use crate::batch::BatchOperator;
 use crate::op::{Operator, Work};
 
 /// Drain an operator completely.
@@ -116,6 +117,120 @@ fn distinct_topk(
     out
 }
 
+/// Drain a batch operator completely, materializing selected rows.
+pub fn batch_collect_all<'a>(op: &mut dyn BatchOperator<'a>) -> Vec<Row> {
+    let mut out = Vec::new();
+    while let Some(b) = op.next_batch() {
+        out.extend(b.sel_iter().map(|i| b.materialize_row(i)));
+    }
+    out
+}
+
+/// Drain a batch operator, stopping early when `work` is interrupted —
+/// including *mid-batch*: an exceeded row quota keeps exactly the rows
+/// paid for and drops the rest of the batch in hand.
+pub fn batch_collect_all_budgeted<'a>(op: &mut dyn BatchOperator<'a>, work: &Work) -> Vec<Row> {
+    let mut out = Vec::new();
+    'outer: loop {
+        if let FireAction::Starve = faults::fire(sites::EXEC_DRIVER_LOOP) {
+            work.starve();
+        }
+        if work.interrupted() {
+            break;
+        }
+        let Some(b) = op.next_batch() else { break };
+        for i in b.sel_iter() {
+            work.count_row();
+            out.push(b.materialize_row(i));
+            if work.interrupted() {
+                break 'outer;
+            }
+        }
+    }
+    out
+}
+
+/// Batch twin of [`collect_distinct_groups`].
+pub fn batch_collect_distinct_groups<'a>(
+    op: &mut dyn BatchOperator<'a>,
+    group_col: usize,
+) -> Vec<Value> {
+    batch_collect_distinct_topk(op, group_col, usize::MAX)
+        .into_iter()
+        .map(|r| r.get(group_col).clone())
+        .collect()
+}
+
+/// Batch twin of [`collect_distinct_topk`].
+pub fn batch_collect_distinct_topk<'a>(
+    op: &mut dyn BatchOperator<'a>,
+    group_col: usize,
+    k: usize,
+) -> Vec<Row> {
+    batch_distinct_topk(op, group_col, k, None)
+}
+
+/// Batch twin of [`collect_distinct_topk_budgeted`].
+pub fn batch_collect_distinct_topk_budgeted<'a>(
+    op: &mut dyn BatchOperator<'a>,
+    group_col: usize,
+    k: usize,
+    work: &Work,
+) -> Vec<Row> {
+    batch_distinct_topk(op, group_col, k, Some(work))
+}
+
+fn batch_distinct_topk<'a>(
+    op: &mut dyn BatchOperator<'a>,
+    group_col: usize,
+    k: usize,
+    work: Option<&Work>,
+) -> Vec<Row> {
+    let mut out: Vec<Row> = Vec::new();
+    if k == 0 {
+        return out;
+    }
+    'outer: loop {
+        if let Some(w) = work {
+            if let FireAction::Starve = faults::fire(sites::EXEC_DRIVER_LOOP) {
+                w.starve();
+            }
+            if w.interrupted() {
+                break;
+            }
+        }
+        let Some(b) = op.next_batch() else { break };
+        for i in b.sel_iter() {
+            let group = b.value(group_col, i);
+            let is_new = out.last().map(|prev: &Row| *prev.get(group_col) != group).unwrap_or(true);
+            if is_new {
+                if let Some(w) = work {
+                    w.count_row();
+                    // An exceeded row quota drops this group: the rows
+                    // kept are exactly the rows paid for.
+                    if w.interrupted() {
+                        break 'outer;
+                    }
+                }
+                out.push(b.materialize_row(i));
+                if out.len() == k {
+                    break 'outer;
+                }
+                if op.grouped() {
+                    // Grouped batch streams never span groups within a
+                    // batch: the rest of this batch is the recorded
+                    // group, so skip both it and the operator's tail.
+                    op.advance_to_next_group();
+                    continue 'outer;
+                }
+            }
+            // Rows of an already-recorded group (possible when the
+            // operator cannot skip) are simply ignored.
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -206,5 +321,59 @@ mod tests {
         let mut op = ValuesScan::new(vec![row![1i64]], w.clone());
         assert!(collect_all_budgeted(&mut op, &w).is_empty());
         assert_eq!(w.exhausted(), Some(Exhausted::Starved));
+    }
+
+    #[test]
+    fn batch_topk_with_grouped_scan_skips() {
+        let rows = vec![
+            row![1i64, 10i64],
+            row![1i64, 11i64],
+            row![2i64, 20i64],
+            row![3i64, 30i64],
+            row![3i64, 31i64],
+        ];
+        let w = Work::new();
+        let mut op = crate::scan::BatchValuesScan::grouped(rows, 0, w.clone());
+        let top = batch_collect_distinct_topk(&mut op, 0, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].get(1).as_int(), 10);
+        assert_eq!(top[1].get(1).as_int(), 20);
+        // Rows of group 3 were never pulled: k reached first.
+        assert!(w.get() <= 4);
+    }
+
+    #[test]
+    fn batch_row_quota_truncates_distinct_groups() {
+        let rows = vec![row![1i64], row![2i64], row![3i64], row![4i64]];
+        let w = Work::with_budget(Budget { row_quota: Some(2), ..Budget::default() });
+        let mut op = crate::scan::BatchValuesScan::grouped(rows, 0, w.clone());
+        let top = batch_collect_distinct_topk_budgeted(&mut op, 0, 10, &w);
+        assert_eq!(top.len(), 2);
+        assert_eq!(w.exhausted(), Some(Exhausted::Rows));
+    }
+
+    #[test]
+    fn batch_step_quota_stops_collect_all_with_partial_output() {
+        let rows: Vec<Row> = (0..100).map(|i| row![i as i64]).collect();
+        crate::batch::set_batch_rows(8);
+        let w = Work::with_budget(Budget { step_quota: Some(10), ..Budget::default() });
+        let mut op = crate::scan::BatchValuesScan::new(rows, w.clone());
+        let got = batch_collect_all_budgeted(&mut op, &w);
+        crate::batch::set_batch_rows(0);
+        assert!(got.len() < 100, "must stop early");
+        assert!(!got.is_empty(), "quota of 10 admits some rows");
+        assert_eq!(w.exhausted(), Some(Exhausted::Steps));
+    }
+
+    #[test]
+    fn batch_row_quota_interrupts_mid_batch() {
+        // One 100-row batch, quota of 7 rows: the driver must stop
+        // inside the batch, keeping exactly the rows paid for.
+        let rows: Vec<Row> = (0..100).map(|i| row![i as i64]).collect();
+        let w = Work::with_budget(Budget { row_quota: Some(7), ..Budget::default() });
+        let mut op = crate::scan::BatchValuesScan::new(rows, w.clone());
+        let got = batch_collect_all_budgeted(&mut op, &w);
+        assert_eq!(got.len(), 8, "quota + the row that tripped it, like the tuple driver");
+        assert_eq!(w.exhausted(), Some(Exhausted::Rows));
     }
 }

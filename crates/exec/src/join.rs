@@ -3,6 +3,7 @@
 use ts_storage::faults::{self, sites, FireAction};
 use ts_storage::{FastMap, Row, Table, Value};
 
+use crate::batch::{Batch, BatchOperator, BoxedBatchOp};
 use crate::op::{BoxedOp, Operator, Work};
 
 /// Classic hash join: materializes and hashes the build side once, then
@@ -80,6 +81,90 @@ impl Operator for HashJoin<'_> {
     }
 }
 
+/// Vectorized hash join: hashes the build side once (pulled as
+/// batches), then probes one batch at a time, assembling output
+/// column-wise — no intermediate `Row` per output tuple. Output is
+/// `probe_row ++ build_row`, matches in build order, like the tuple
+/// engine. Reports `grouped() == false` for the same §5.2 reason.
+pub struct BatchHashJoin<'a> {
+    probe: BoxedBatchOp<'a>,
+    build: BoxedBatchOp<'a>,
+    probe_col: usize,
+    build_col: usize,
+    table: Option<FastMap<Value, Vec<Row>>>,
+    work: Work,
+}
+
+impl<'a> BatchHashJoin<'a> {
+    /// Join `probe` and `build` on `probe_col = build_col`.
+    pub fn new(
+        probe: BoxedBatchOp<'a>,
+        probe_col: usize,
+        build: BoxedBatchOp<'a>,
+        build_col: usize,
+        work: Work,
+    ) -> Self {
+        BatchHashJoin { probe, probe_col, build, build_col, table: None, work }
+    }
+
+    fn build_table(&mut self) {
+        if self.table.is_some() {
+            return;
+        }
+        if let FireAction::Starve = faults::fire(sites::EXEC_JOIN_BUILD) {
+            self.work.starve();
+        }
+        let mut map: FastMap<Value, Vec<Row>> = FastMap::default();
+        while let Some(b) = self.build.next_batch() {
+            self.work.tick(b.selected() as u64);
+            for i in b.sel_iter() {
+                map.entry(b.value(self.build_col, i)).or_default().push(b.materialize_row(i));
+            }
+        }
+        self.table = Some(map);
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchHashJoin<'a> {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        self.build_table();
+        loop {
+            if self.work.interrupted() {
+                return None;
+            }
+            let pb = self.probe.next_batch()?;
+            self.work.tick(pb.selected() as u64);
+            let table = self.table.as_ref().expect("built");
+            // Column-wise output builders, sized lazily at first match.
+            let mut out: Vec<Vec<Value>> = Vec::new();
+            let mut emitted = 0usize;
+            for i in pb.sel_iter() {
+                let Some(matches) = table.get(&pb.value(self.probe_col, i)) else { continue };
+                for m in matches {
+                    if out.is_empty() {
+                        out = vec![Vec::new(); pb.arity() + m.arity()];
+                    }
+                    for (c, builder) in out.iter_mut().enumerate().take(pb.arity()) {
+                        builder.push(pb.value(c, i));
+                    }
+                    for (c, v) in m.values().enumerate() {
+                        out[pb.arity() + c].push(v.clone());
+                    }
+                    emitted += 1;
+                }
+            }
+            if emitted > 0 {
+                return Some(Batch::from_val_cols(out));
+            }
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.probe.rewind();
+        // Keep the built hash table: the build side is immutable input.
+    }
+}
+
 /// Index nested-loops join against a base table: for each outer row,
 /// probe the table's hash index on `inner_col` with the outer row's
 /// `outer_col` value. Output is `outer_row ++ inner_row`, in outer order.
@@ -145,6 +230,94 @@ impl Operator for IndexNlJoin<'_> {
     fn rewind(&mut self) {
         self.outer.rewind();
         self.pending.clear();
+    }
+}
+
+/// Vectorized index nested-loops join against a base table. One index
+/// probe per outer row, output assembled column-wise in outer order.
+pub struct BatchIndexNlJoin<'a> {
+    outer: BoxedBatchOp<'a>,
+    inner: &'a Table,
+    outer_col: usize,
+    inner_col: usize,
+    work: Work,
+}
+
+impl<'a> BatchIndexNlJoin<'a> {
+    /// Join `outer` with `inner` on `outer_col = inner.inner_col`.
+    pub fn new(
+        outer: BoxedBatchOp<'a>,
+        outer_col: usize,
+        inner: &'a Table,
+        inner_col: usize,
+        work: Work,
+    ) -> Self {
+        BatchIndexNlJoin { outer, inner, outer_col, inner_col, work }
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchIndexNlJoin<'a> {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        loop {
+            if self.work.interrupted() {
+                return None;
+            }
+            let ob = self.outer.next_batch()?;
+            self.work.tick(ob.selected() as u64);
+            let out =
+                probe_inner_columnwise(&ob, self.inner, self.outer_col, self.inner_col, &self.work);
+            if let Some(b) = out {
+                return Some(b);
+            }
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.outer.rewind();
+    }
+}
+
+/// Probe `inner`'s index (pk or secondary) with each selected row of
+/// `ob`, assembling `outer ++ inner` output columns. One work tick per
+/// probe. Returns `None` when no outer row matched.
+pub(crate) fn probe_inner_columnwise(
+    ob: &Batch<'_>,
+    inner: &Table,
+    outer_col: usize,
+    inner_col: usize,
+    work: &Work,
+) -> Option<Batch<'static>> {
+    let arity = ob.arity() + inner.schema().columns.len();
+    let mut out: Vec<Vec<Value>> = Vec::new();
+    let is_pk = inner.schema().primary_key == Some(inner_col);
+    let push = |out: &mut Vec<Vec<Value>>, i: usize, r: ts_storage::RowRef<'_>| {
+        if out.is_empty() {
+            *out = vec![Vec::new(); arity];
+        }
+        for (c, builder) in out.iter_mut().enumerate().take(ob.arity()) {
+            builder.push(ob.value(c, i));
+        }
+        for c in 0..r.arity() {
+            out[ob.arity() + c].push(r.get(c));
+        }
+    };
+    for i in ob.sel_iter() {
+        work.tick(1); // one index probe
+        let key = ob.value(outer_col, i);
+        if is_pk {
+            if let Some(r) = inner.by_pk(&key) {
+                push(&mut out, i, r);
+            }
+        } else {
+            for &rid in inner.index_probe(inner_col, &key) {
+                push(&mut out, i, inner.row(rid));
+            }
+        }
+    }
+    if out.is_empty() {
+        None
+    } else {
+        Some(Batch::from_val_cols(out))
     }
 }
 

@@ -29,6 +29,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod dgj;
 pub mod driver;
 pub mod join;
@@ -37,13 +38,24 @@ pub mod scan;
 pub mod simple;
 pub mod sort;
 
-pub use dgj::{Hdgj, Idgj};
+pub use batch::{
+    batch_rows, engine, set_batch_rows, set_engine, Batch, BatchOperator, BoxedBatchOp, Col,
+    Engine, DEFAULT_BATCH_ROWS,
+};
+pub use dgj::{BatchHdgj, BatchIdgj, Hdgj, Idgj};
 pub use driver::{
-    collect_all, collect_all_budgeted, collect_distinct_groups, collect_distinct_topk,
+    batch_collect_all, batch_collect_all_budgeted, batch_collect_distinct_groups,
+    batch_collect_distinct_topk, batch_collect_distinct_topk_budgeted, collect_all,
+    collect_all_budgeted, collect_distinct_groups, collect_distinct_topk,
     collect_distinct_topk_budgeted,
 };
-pub use join::{HashJoin, IndexNlJoin};
+pub use join::{BatchHashJoin, BatchIndexNlJoin, HashJoin, IndexNlJoin};
 pub use op::{BoxedOp, Budget, Exhausted, Operator, Work};
-pub use scan::{IndexLookupScan, TableScan, ValuesScan};
-pub use simple::{Distinct, Filter, Limit, Project, UnionAll};
-pub use sort::{Dir, Sort};
+pub use scan::{
+    BatchIndexLookupScan, BatchTableScan, BatchValuesScan, IndexLookupScan, TableScan, ValuesScan,
+};
+pub use simple::{
+    BatchDistinct, BatchFilter, BatchLimit, BatchProject, BatchUnionAll, Distinct, Filter, Limit,
+    Project, UnionAll,
+};
+pub use sort::{BatchSort, Dir, Sort};

@@ -59,7 +59,7 @@ pub struct Budget {
 /// How many ticks may pass between deadline / cancellation polls. Quota
 /// checks are exact (every tick); clock reads and atomic loads are
 /// amortized over this window.
-const POLL_EVERY: u64 = 1024;
+pub(crate) const POLL_EVERY: u64 = 1024;
 
 #[derive(Debug)]
 struct WorkInner {

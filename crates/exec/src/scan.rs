@@ -4,6 +4,7 @@ use ts_storage::cast;
 use ts_storage::faults::{self, sites, FireAction};
 use ts_storage::{Predicate, Row, Table, Value};
 
+use crate::batch::{batch_rows, Batch, BatchOperator};
 use crate::op::{Operator, Work};
 
 /// Sequential scan over a table with an optional residual predicate.
@@ -40,6 +41,53 @@ impl Operator for TableScan<'_> {
             // surviving row is materialized as an output tuple.
             if self.pred.eval_ref(row) {
                 return Some(row.to_row());
+            }
+        }
+        None
+    }
+
+    fn rewind(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// Vectorized sequential scan: emits [`Batch`]es of column slices
+/// borrowed from the table's store, with `pred` folded into each
+/// batch's selection vector. The predicate runs directly on raw `i64`
+/// buffers for null-free Int columns; each chunk is charged to the
+/// work meter in one `tick(chunk_len)` call, so step quotas and
+/// deadline polls fire with tuple-engine granularity (the chunk size
+/// defaults to the meter's poll window).
+pub struct BatchTableScan<'a> {
+    table: &'a Table,
+    pred: Predicate,
+    pos: usize,
+    work: Work,
+}
+
+impl<'a> BatchTableScan<'a> {
+    /// Scan `table`, emitting batches of rows satisfying `pred`.
+    pub fn new(table: &'a Table, pred: Predicate, work: Work) -> Self {
+        BatchTableScan { table, pred, pos: 0, work }
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchTableScan<'a> {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        if let FireAction::Starve = faults::fire(sites::EXEC_SCAN) {
+            self.work.starve();
+        }
+        while self.pos < self.table.len() {
+            if self.work.interrupted() {
+                return None;
+            }
+            let end = (self.pos + batch_rows()).min(self.table.len());
+            let mut b = Batch::from_store(self.table.store(), self.pos, end);
+            self.work.tick((end - self.pos) as u64);
+            self.pos = end;
+            b.filter(&self.pred);
+            if b.selected() > 0 {
+                return Some(b);
             }
         }
         None
@@ -102,6 +150,61 @@ impl Operator for IndexLookupScan<'_> {
     }
 }
 
+/// Vectorized index lookup: one probe, then posting-list rows emitted
+/// in batches.
+pub struct BatchIndexLookupScan<'a> {
+    table: &'a Table,
+    col: usize,
+    key: Value,
+    posting_pos: usize,
+    probed: bool,
+    postings: Vec<u32>,
+    work: Work,
+}
+
+impl<'a> BatchIndexLookupScan<'a> {
+    /// Probe the secondary index on `col` for `key`.
+    pub fn new(table: &'a Table, col: usize, key: Value, work: Work) -> Self {
+        BatchIndexLookupScan {
+            table,
+            col,
+            key,
+            posting_pos: 0,
+            probed: false,
+            postings: Vec::new(),
+            work,
+        }
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchIndexLookupScan<'a> {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        if self.work.interrupted() {
+            return None;
+        }
+        if !self.probed {
+            self.probed = true;
+            self.work.tick(1); // the probe itself
+            self.postings = self.table.index_probe(self.col, &self.key).to_vec();
+        }
+        if self.posting_pos >= self.postings.len() {
+            return None;
+        }
+        let end = (self.posting_pos + batch_rows()).min(self.postings.len());
+        let rows: Vec<Row> = self.postings[self.posting_pos..end]
+            .iter()
+            .map(|&id| self.table.row(id).to_row())
+            .collect();
+        self.work.tick((end - self.posting_pos) as u64);
+        self.posting_pos = end;
+        Some(Batch::from_rows(&rows))
+    }
+
+    fn rewind(&mut self) {
+        self.posting_pos = 0;
+    }
+}
+
 /// Scan over pre-materialized rows (e.g. TopInfo sorted by score).
 ///
 /// `grouped` marks the stream as clustered by a group column so DGJ
@@ -139,6 +242,79 @@ impl Operator for ValuesScan {
         } else {
             None
         }
+    }
+
+    fn rewind(&mut self) {
+        self.pos = 0;
+    }
+
+    fn grouped(&self) -> bool {
+        self.group_col.is_some()
+    }
+
+    fn advance_to_next_group(&mut self) {
+        let Some(col) = self.group_col else {
+            panic!("advance_to_next_group called on a non-grouped operator");
+        };
+        if self.pos == 0 || self.pos > self.rows.len() {
+            return;
+        }
+        // Current group is the one of the last-emitted row.
+        let current = self.rows[self.pos - 1].get(col).clone();
+        while self.pos < self.rows.len() && *self.rows[self.pos].get(col) == current {
+            self.pos += 1;
+            self.work.tick(1);
+        }
+    }
+}
+
+/// Vectorized scan over pre-materialized rows.
+///
+/// When grouped, batches are clipped at group boundaries: every emitted
+/// batch holds rows of exactly one group (a large group spans several
+/// consecutive batches), which is the invariant the batch DGJ operators
+/// and top-k driver rely on for skipping.
+pub struct BatchValuesScan {
+    rows: Vec<Row>,
+    pos: usize,
+    group_col: Option<usize>,
+    work: Work,
+}
+
+impl BatchValuesScan {
+    /// Ungrouped stream of rows.
+    pub fn new(rows: Vec<Row>, work: Work) -> Self {
+        BatchValuesScan { rows, pos: 0, group_col: None, work }
+    }
+
+    /// Stream clustered by `group_col` (rows must already be clustered).
+    pub fn grouped(rows: Vec<Row>, group_col: usize, work: Work) -> Self {
+        BatchValuesScan { rows, pos: 0, group_col: Some(group_col), work }
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchValuesScan {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        if self.work.interrupted() {
+            return None;
+        }
+        if self.pos >= self.rows.len() {
+            return None;
+        }
+        let mut end = (self.pos + batch_rows()).min(self.rows.len());
+        if let Some(col) = self.group_col {
+            // Clip at the group boundary: batches never span groups.
+            let group = self.rows[self.pos].get(col);
+            let mut e = self.pos + 1;
+            while e < end && self.rows[e].get(col) == group {
+                e += 1;
+            }
+            end = e;
+        }
+        let b = Batch::from_rows(&self.rows[self.pos..end]);
+        self.work.tick((end - self.pos) as u64);
+        self.pos = end;
+        Some(b)
     }
 
     fn rewind(&mut self) {
@@ -231,5 +407,59 @@ mod tests {
         let mut op = ValuesScan::grouped(rows, 0, Work::new());
         op.advance_to_next_group();
         assert_eq!(op.next().unwrap().get(0).as_int(), 10);
+    }
+
+    #[test]
+    fn batch_table_scan_matches_tuple_scan_and_meter() {
+        let t = table();
+        let w = Work::new();
+        let mut op = BatchTableScan::new(&t, Predicate::eq(1, "a"), w.clone());
+        let got = crate::driver::batch_collect_all(&mut op);
+        assert_eq!(got.len(), 2);
+        assert_eq!(w.get(), 3); // three rows touched, same as the tuple scan
+        op.rewind();
+        assert_eq!(crate::driver::batch_collect_all(&mut op).len(), 2);
+    }
+
+    #[test]
+    fn batch_index_lookup_scan_matches_tuple() {
+        let t = table();
+        let mut op = BatchIndexLookupScan::new(&t, 1, Value::str("a"), Work::new());
+        let got = crate::driver::batch_collect_all(&mut op);
+        let mut tup = IndexLookupScan::new(&t, 1, Value::str("a"), Work::new());
+        assert_eq!(got, crate::driver::collect_all(&mut tup));
+        op.rewind();
+        assert_eq!(crate::driver::batch_collect_all(&mut op).len(), 2);
+    }
+
+    #[test]
+    fn batch_values_scan_clips_batches_at_group_boundaries() {
+        let rows = vec![
+            row![10i64, 1i64],
+            row![10i64, 2i64],
+            row![20i64, 3i64],
+            row![20i64, 4i64],
+            row![30i64, 5i64],
+        ];
+        let mut op = BatchValuesScan::grouped(rows, 0, Work::new());
+        assert!(BatchOperator::grouped(&op));
+        let mut groups = Vec::new();
+        while let Some(b) = op.next_batch() {
+            let g: Vec<i64> = b.sel_iter().map(|i| b.try_int(0, i).unwrap()).collect();
+            assert!(g.windows(2).all(|w| w[0] == w[1]), "batch spans groups: {g:?}");
+            groups.push(g[0]);
+        }
+        assert_eq!(groups, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn batch_values_scan_group_skip() {
+        let rows = vec![row![10i64, 1i64], row![10i64, 2i64], row![10i64, 3i64], row![20i64, 4i64]];
+        let mut op = BatchValuesScan::grouped(rows, 0, Work::new());
+        let first = op.next_batch().unwrap();
+        assert_eq!(first.try_int(0, first.first().unwrap()), Some(10));
+        op.advance_to_next_group();
+        let next = op.next_batch().unwrap();
+        assert_eq!(next.try_int(0, next.first().unwrap()), Some(20));
     }
 }

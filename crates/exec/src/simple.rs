@@ -2,6 +2,7 @@
 
 use ts_storage::{FastSet, Predicate, Row};
 
+use crate::batch::{Batch, BatchOperator, BoxedBatchOp, Col};
 use crate::op::{BoxedOp, Operator, Work};
 
 /// Filter rows by a predicate. Preserves grouping of its input.
@@ -143,6 +144,227 @@ impl Operator for Distinct<'_> {
     }
 }
 
+/// Vectorized filter: refines each input batch's selection vector in
+/// place — no row materialization, Int predicates run on raw buffers.
+pub struct BatchFilter<'a> {
+    input: BoxedBatchOp<'a>,
+    pred: Predicate,
+    work: Work,
+}
+
+impl<'a> BatchFilter<'a> {
+    /// Filter `input` by `pred`.
+    pub fn new(input: BoxedBatchOp<'a>, pred: Predicate, work: Work) -> Self {
+        BatchFilter { input, pred, work }
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchFilter<'a> {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        loop {
+            if self.work.interrupted() {
+                return None;
+            }
+            let mut b = self.input.next_batch()?;
+            self.work.tick(b.selected() as u64);
+            b.filter(&self.pred);
+            if b.selected() > 0 {
+                return Some(b);
+            }
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.input.rewind();
+    }
+
+    fn grouped(&self) -> bool {
+        self.input.grouped()
+    }
+
+    fn advance_to_next_group(&mut self) {
+        self.input.advance_to_next_group();
+    }
+}
+
+/// Vectorized projection: clones the kept columns (cheap slice copies
+/// for borrowed columns), selection vector carried through unchanged.
+pub struct BatchProject<'a> {
+    input: BoxedBatchOp<'a>,
+    cols: Vec<usize>,
+}
+
+impl<'a> BatchProject<'a> {
+    /// Keep `cols` (in order) of every input batch.
+    pub fn new(input: BoxedBatchOp<'a>, cols: Vec<usize>) -> Self {
+        BatchProject { input, cols }
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchProject<'a> {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        let b = self.input.next_batch()?;
+        let raw_len = b.raw_len();
+        let sel = b.sel().map(<[u32]>::to_vec);
+        let cols: Vec<Col<'a>> = self.cols.iter().map(|&c| b.col(c).clone()).collect();
+        let mut out = Batch::new(cols, raw_len);
+        if let Some(sel) = sel {
+            out.set_sel(sel);
+        }
+        Some(out)
+    }
+
+    fn rewind(&mut self) {
+        self.input.rewind();
+    }
+}
+
+/// Vectorized limit: truncates the selection vector of the batch that
+/// crosses the `k`-row boundary.
+pub struct BatchLimit<'a> {
+    input: BoxedBatchOp<'a>,
+    k: usize,
+    produced: usize,
+}
+
+impl<'a> BatchLimit<'a> {
+    /// Emit at most `k` rows of `input`.
+    pub fn new(input: BoxedBatchOp<'a>, k: usize) -> Self {
+        BatchLimit { input, k, produced: 0 }
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchLimit<'a> {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        if self.produced >= self.k {
+            return None;
+        }
+        let mut b = self.input.next_batch()?;
+        let remaining = self.k - self.produced;
+        if b.selected() > remaining {
+            let keep: Vec<u32> =
+                b.sel_iter().take(remaining).map(ts_storage::cast::to_u32).collect();
+            b.set_sel(keep);
+        }
+        self.produced += b.selected();
+        Some(b)
+    }
+
+    fn rewind(&mut self) {
+        self.produced = 0;
+        self.input.rewind();
+    }
+}
+
+/// Vectorized duplicate elimination on `key_cols`.
+///
+/// Single-column Int keys dedup through an integer hash set fed
+/// straight from the raw column buffer — no per-row scratch key is
+/// built (the allocation-count tests in `sort_allocs.rs` hold this
+/// path to that). Multi-column or non-Int keys fall back to the tuple
+/// engine's scratch-row probing.
+pub struct BatchDistinct<'a> {
+    input: BoxedBatchOp<'a>,
+    key_cols: Vec<usize>,
+    seen_int: FastSet<i64>,
+    seen: FastSet<Row>,
+    scratch: Row,
+    work: Work,
+}
+
+impl<'a> BatchDistinct<'a> {
+    /// Distinct over `key_cols` of `input`.
+    pub fn new(input: BoxedBatchOp<'a>, key_cols: Vec<usize>, work: Work) -> Self {
+        BatchDistinct {
+            input,
+            key_cols,
+            seen_int: FastSet::default(),
+            seen: FastSet::default(),
+            scratch: Row::new(Vec::new()),
+            work,
+        }
+    }
+
+    /// True when row `i` carries a not-yet-seen key (recording it).
+    fn is_new(&mut self, b: &Batch<'_>, i: usize) -> bool {
+        if let [col] = self.key_cols[..] {
+            // Single-key fast path: Int keys go through the integer set
+            // (no Value, no scratch row); rare non-Int cells fall back.
+            if let Some(k) = b.try_int(col, i) {
+                return self.seen_int.insert(k);
+            }
+        }
+        self.scratch.0.clear();
+        for &c in &self.key_cols {
+            self.scratch.0.push(b.value(c, i));
+        }
+        if self.seen.contains(&self.scratch) {
+            return false;
+        }
+        self.seen.insert(self.scratch.clone());
+        true
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchDistinct<'a> {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        loop {
+            if self.work.interrupted() {
+                return None;
+            }
+            let mut b = self.input.next_batch()?;
+            self.work.tick(b.selected() as u64);
+            let keep: Vec<u32> = b
+                .sel_iter()
+                .filter(|&i| self.is_new(&b, i))
+                .map(ts_storage::cast::to_u32)
+                .collect();
+            if !keep.is_empty() {
+                b.set_sel(keep);
+                return Some(b);
+            }
+        }
+    }
+
+    fn rewind(&mut self) {
+        self.seen_int.clear();
+        self.seen.clear();
+        self.input.rewind();
+    }
+}
+
+/// Vectorized concatenation of several inputs.
+pub struct BatchUnionAll<'a> {
+    inputs: Vec<BoxedBatchOp<'a>>,
+    current: usize,
+}
+
+impl<'a> BatchUnionAll<'a> {
+    /// Concatenate `inputs` in order.
+    pub fn new(inputs: Vec<BoxedBatchOp<'a>>) -> Self {
+        BatchUnionAll { inputs, current: 0 }
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchUnionAll<'a> {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        while self.current < self.inputs.len() {
+            if let Some(b) = self.inputs[self.current].next_batch() {
+                return Some(b);
+            }
+            self.current += 1;
+        }
+        None
+    }
+
+    fn rewind(&mut self) {
+        self.current = 0;
+        for i in &mut self.inputs {
+            i.rewind();
+        }
+    }
+}
+
 /// Concatenation of several inputs (SQL UNION ALL; place a [`Distinct`]
 /// on top for UNION).
 pub struct UnionAll<'a> {
@@ -233,5 +455,65 @@ mod tests {
         f.next().unwrap();
         f.advance_to_next_group();
         assert_eq!(f.next().unwrap().get(0).as_int(), 20);
+    }
+
+    fn batch_values(rows: Vec<Row>) -> BoxedBatchOp<'static> {
+        Box::new(crate::scan::BatchValuesScan::new(rows, Work::new()))
+    }
+
+    #[test]
+    fn batch_filter_project_limit_pipeline_matches_tuple() {
+        let rows = vec![row![1i64, "a"], row![2i64, "b"], row![3i64, "a"], row![4i64, "a"]];
+        let f = BatchFilter::new(batch_values(rows), Predicate::eq(1, "a"), Work::new());
+        let p = BatchProject::new(Box::new(f), vec![0]);
+        let mut l = BatchLimit::new(Box::new(p), 2);
+        let got = crate::driver::batch_collect_all(&mut l);
+        assert_eq!(got, vec![row![1i64], row![3i64]]);
+        l.rewind();
+        assert_eq!(crate::driver::batch_collect_all(&mut l).len(), 2);
+    }
+
+    #[test]
+    fn batch_distinct_matches_tuple_first_occurrence() {
+        let rows = vec![row![1i64, "x"], row![1i64, "y"], row![2i64, "x"]];
+        let mut d = BatchDistinct::new(batch_values(rows), vec![0], Work::new());
+        let got = crate::driver::batch_collect_all(&mut d);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].get(1).as_str(), "x"); // first occurrence wins
+        d.rewind();
+        assert_eq!(crate::driver::batch_collect_all(&mut d).len(), 2);
+    }
+
+    #[test]
+    fn batch_distinct_multi_column_keys() {
+        let rows = vec![row![1i64, "x"], row![1i64, "x"], row![1i64, "y"]];
+        let mut d = BatchDistinct::new(batch_values(rows), vec![0, 1], Work::new());
+        assert_eq!(crate::driver::batch_collect_all(&mut d).len(), 2);
+    }
+
+    #[test]
+    fn batch_union_all_concatenates_and_rewinds() {
+        let mut u = BatchUnionAll::new(vec![
+            batch_values(vec![row![1i64]]),
+            batch_values(vec![]),
+            batch_values(vec![row![2i64], row![3i64]]),
+        ]);
+        assert_eq!(crate::driver::batch_collect_all(&mut u).len(), 3);
+        u.rewind();
+        let got = crate::driver::batch_collect_all(&mut u);
+        assert_eq!(got[0], row![1i64]);
+        assert_eq!(got[2], row![3i64]);
+    }
+
+    #[test]
+    fn batch_filter_propagates_group_skip() {
+        let rows = vec![row![10i64, 1i64], row![10i64, 2i64], row![20i64, 3i64]];
+        let scan = crate::scan::BatchValuesScan::grouped(rows, 0, Work::new());
+        let mut f = BatchFilter::new(Box::new(scan), Predicate::True, Work::new());
+        assert!(BatchOperator::grouped(&f));
+        f.next_batch().unwrap();
+        f.advance_to_next_group();
+        let b = f.next_batch().unwrap();
+        assert_eq!(b.try_int(0, b.first().unwrap()), Some(20));
     }
 }

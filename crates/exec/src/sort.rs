@@ -3,6 +3,7 @@
 use ts_storage::faults::{self, sites, FireAction};
 use ts_storage::{Row, Value};
 
+use crate::batch::{batch_rows, Batch, BatchOperator, BoxedBatchOp, Col};
 use crate::op::{BoxedOp, Operator, Work};
 
 /// Sort direction per key column.
@@ -128,6 +129,183 @@ impl Operator for Sort<'_> {
     }
 }
 
+/// One materialized, sorted column of a [`BatchSort`] buffer.
+enum SortedCol {
+    /// All-Int column kept as a raw `i64` buffer.
+    Int(Vec<i64>),
+    /// Everything else.
+    Val(Vec<Value>),
+}
+
+impl SortedCol {
+    fn value(&self, i: usize) -> Value {
+        match self {
+            SortedCol::Int(v) => Value::Int(v[i]),
+            SortedCol::Val(v) => v[i].clone(),
+        }
+    }
+}
+
+/// Vectorized materializing sort.
+///
+/// Gathers the input into column-major buffers, sorts a permutation,
+/// and emits batches from the permuted columns. All-Int columns — keys
+/// and payload alike — stay raw `i64` buffers end to end: no per-row
+/// scratch key, no per-row `Value`, and a number of allocations
+/// proportional to the column count, not the row count (held to that
+/// by the counting-allocator tests in `sort_allocs.rs`). Like the
+/// tuple [`Sort`], the output is clustered by the first key column;
+/// emitted batches are clipped at group boundaries so the grouped
+/// batch-stream invariant holds.
+pub struct BatchSort<'a> {
+    input: BoxedBatchOp<'a>,
+    keys: Vec<(usize, Dir)>,
+    buffer: Option<Vec<SortedCol>>,
+    len: usize,
+    pos: usize,
+    /// First-key value of the last emitted row — the group boundary for
+    /// `advance_to_next_group`.
+    last_group: Option<Value>,
+    work: Work,
+}
+
+impl<'a> BatchSort<'a> {
+    /// Sort `input` by `keys`.
+    pub fn new(input: BoxedBatchOp<'a>, keys: Vec<(usize, Dir)>, work: Work) -> Self {
+        BatchSort { input, keys, buffer: None, len: 0, pos: 0, last_group: None, work }
+    }
+
+    fn fill(&mut self) {
+        if self.buffer.is_some() {
+            return;
+        }
+        if let FireAction::Starve = faults::fire(sites::EXEC_SORT_FILL) {
+            self.work.starve();
+        }
+        // Drain the input, gathering each column into a flat buffer:
+        // raw i64 when every batch holds the column Int-represented,
+        // owned values otherwise.
+        let mut cols: Vec<SortedCol> = Vec::new();
+        let mut n = 0usize;
+        while let Some(b) = self.input.next_batch() {
+            self.work.tick(b.selected() as u64);
+            if cols.is_empty() {
+                cols = (0..b.arity()).map(|_| SortedCol::Int(Vec::new())).collect();
+            }
+            for (c, col) in cols.iter_mut().enumerate() {
+                // Demote to Value storage at the first non-Int chunk.
+                if let SortedCol::Int(ints) = col {
+                    if let Some(buf) = b.col(c).int_slice() {
+                        ints.extend(b.sel_iter().map(|i| buf[i]));
+                        continue;
+                    }
+                    let mut vals: Vec<Value> = ints.iter().map(|&k| Value::Int(k)).collect();
+                    vals.extend(b.sel_iter().map(|i| b.value(c, i)));
+                    *col = SortedCol::Val(vals);
+                    continue;
+                }
+                if let SortedCol::Val(vals) = col {
+                    vals.extend(b.sel_iter().map(|i| b.value(c, i)));
+                }
+            }
+            n += b.selected();
+        }
+        self.len = n;
+        // Sort a permutation by the key columns (stable, like the tuple
+        // engine), then permute every column once.
+        let mut perm: Vec<u32> = (0..n).map(ts_storage::cast::to_u32).collect();
+        let keys = &self.keys;
+        perm.sort_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            for &(col, dir) in keys {
+                let ord = match &cols[col] {
+                    SortedCol::Int(v) => v[a].cmp(&v[b]),
+                    SortedCol::Val(v) => v[a].cmp(&v[b]),
+                };
+                let ord = match dir {
+                    Dir::Asc => ord,
+                    Dir::Desc => ord.reverse(),
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let sorted = cols
+            .into_iter()
+            .map(|col| match col {
+                SortedCol::Int(v) => SortedCol::Int(perm.iter().map(|&i| v[i as usize]).collect()),
+                SortedCol::Val(mut v) => {
+                    let out = perm
+                        .iter()
+                        .map(|&i| std::mem::replace(&mut v[i as usize], Value::Null))
+                        .collect();
+                    SortedCol::Val(out)
+                }
+            })
+            .collect();
+        self.buffer = Some(sorted);
+    }
+}
+
+impl<'a> BatchOperator<'a> for BatchSort<'a> {
+    fn next_batch(&mut self) -> Option<Batch<'a>> {
+        if self.work.interrupted() {
+            return None;
+        }
+        self.fill();
+        let buf = self.buffer.as_ref().expect("filled");
+        if self.pos >= self.len {
+            return None;
+        }
+        let mut end = (self.pos + batch_rows()).min(self.len);
+        // Clip at the first key column's group boundary.
+        if let Some(&(col, _)) = self.keys.first() {
+            let group = buf[col].value(self.pos);
+            let mut e = self.pos + 1;
+            while e < end && buf[col].value(e) == group {
+                e += 1;
+            }
+            end = e;
+            self.last_group = Some(group);
+        }
+        let cols: Vec<Col<'a>> = buf
+            .iter()
+            .map(|c| match c {
+                SortedCol::Int(v) => Col::IntOwned(v[self.pos..end].to_vec()),
+                SortedCol::Val(v) => Col::Vals(v[self.pos..end].to_vec()),
+            })
+            .collect();
+        let out = Batch::new(cols, end - self.pos);
+        self.pos = end;
+        Some(out)
+    }
+
+    fn rewind(&mut self) {
+        // The sorted buffer is kept (emission copies out of it), so a
+        // rewind just resets the cursor.
+        self.pos = 0;
+        self.last_group = None;
+    }
+
+    fn grouped(&self) -> bool {
+        true
+    }
+
+    fn advance_to_next_group(&mut self) {
+        self.fill();
+        let Some(&(col, _)) = self.keys.first() else { return };
+        let Some(current) = self.last_group.clone() else {
+            return; // nothing emitted yet: already at a group boundary
+        };
+        let buf = self.buffer.as_ref().expect("filled");
+        while self.pos < self.len && buf[col].value(self.pos) == current {
+            self.pos += 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +341,43 @@ mod tests {
         s.next().unwrap(); // (10, _)
         s.advance_to_next_group();
         assert_eq!(s.next().unwrap().get(0).as_int(), 20);
+    }
+
+    #[test]
+    fn batch_sort_matches_tuple_sort() {
+        let rows = vec![row![1i64, 5i64], row![2i64, 9i64], row![3i64, 5i64]];
+        let keys = vec![(1, Dir::Desc), (0, Dir::Asc)];
+        let tuple = {
+            let scan = ValuesScan::new(rows.clone(), Work::new());
+            let mut s = Sort::new(Box::new(scan), keys.clone(), Work::new());
+            collect_all(&mut s)
+        };
+        let scan = crate::scan::BatchValuesScan::new(rows, Work::new());
+        let mut s = BatchSort::new(Box::new(scan), keys, Work::new());
+        assert_eq!(crate::driver::batch_collect_all(&mut s), tuple);
+        s.rewind();
+        assert_eq!(crate::driver::batch_collect_all(&mut s), tuple);
+    }
+
+    #[test]
+    fn batch_sort_handles_str_payload_columns() {
+        let rows = vec![row![2i64, "b"], row![1i64, "a"], row![2i64, "a"]];
+        let scan = crate::scan::BatchValuesScan::new(rows, Work::new());
+        let mut s = BatchSort::new(Box::new(scan), vec![(0, Dir::Asc)], Work::new());
+        let got = crate::driver::batch_collect_all(&mut s);
+        assert_eq!(got, vec![row![1i64, "a"], row![2i64, "b"], row![2i64, "a"]]);
+    }
+
+    #[test]
+    fn batch_sorted_stream_supports_group_skip() {
+        let rows = vec![row![10i64, 1i64], row![20i64, 2i64], row![10i64, 3i64], row![20i64, 4i64]];
+        let scan = crate::scan::BatchValuesScan::new(rows, Work::new());
+        let mut s = BatchSort::new(Box::new(scan), vec![(0, Dir::Asc)], Work::new());
+        assert!(BatchOperator::grouped(&s));
+        let b = s.next_batch().unwrap(); // the (10, _) group
+        assert_eq!(b.try_int(0, b.first().unwrap()), Some(10));
+        s.advance_to_next_group();
+        let b2 = s.next_batch().unwrap();
+        assert_eq!(b2.try_int(0, b2.first().unwrap()), Some(20));
     }
 }

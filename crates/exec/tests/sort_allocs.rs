@@ -11,7 +11,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
-use ts_exec::{collect_all, Dir, Operator, Sort, ValuesScan, Work};
+use ts_exec::{
+    collect_all, BatchDistinct, BatchOperator, BatchSort, BatchValuesScan, BoxedBatchOp, Dir,
+    Operator, Sort, ValuesScan, Work,
+};
 use ts_storage::{row, Row};
 
 struct CountingAlloc;
@@ -102,6 +105,79 @@ fn sort_emits_without_per_row_allocations() {
     assert!(
         emission_allocs < 32,
         "Sort::next allocated {emission_allocs} times while emitting {N} buffered rows"
+    );
+}
+
+/// `BatchSort` on all-Int input must sort on the raw `i64` column
+/// buffers — a permutation over borrowed slices — not on per-row
+/// scratch key rows. Allocation count across fill + emission of 1024
+/// rows stays a small constant (batch-granular `Vec`s only); the
+/// per-row-key version allocated at least one `Vec<Value>` per row.
+#[test]
+fn batch_sort_all_int_sorts_raw_buffers_without_per_row_keys() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let rows: Vec<Row> = (0..N as i64).map(|i| row![(i * 37) % 11, i]).collect();
+    let mut expected: Vec<(i64, i64)> =
+        rows.iter().map(|r| (r.get(0).as_int(), r.get(1).as_int())).collect();
+    expected.sort_unstable();
+
+    let scan: BoxedBatchOp<'static> = Box::new(BatchValuesScan::new(rows, Work::new()));
+    let mut s = BatchSort::new(scan, vec![(0, Dir::Asc), (1, Dir::Asc)], Work::new());
+
+    let mut got: Vec<(i64, i64)> = Vec::with_capacity(N);
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    while let Some(b) = s.next_batch() {
+        for i in b.sel_iter() {
+            got.push((
+                b.try_int(0, i).expect("all-Int column"),
+                b.try_int(1, i).expect("all-Int column"),
+            ));
+        }
+    }
+    COUNTING.store(false, Ordering::Relaxed);
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(got, expected, "batch sort changed the sorted output");
+    assert!(
+        allocs < 128,
+        "BatchSort allocated {allocs} times sorting and emitting {N} all-Int rows \
+         (per-row scratch keys would cost >= {N})"
+    );
+}
+
+/// `BatchDistinct` with an all-Int key must dedup straight off the raw
+/// column values (an `i64` hash-set probe per row), not via per-row
+/// scratch key rows.
+#[test]
+fn batch_distinct_all_int_key_dedups_without_per_row_scratch() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let rows: Vec<Row> = (0..N as i64).map(|i| row![(i * 37) % 11, i]).collect();
+    // First-occurrence reference: key k first appears at the smallest i
+    // with (i * 37) % 11 == k.
+    let mut seen = std::collections::HashSet::new();
+    let expected: Vec<i64> =
+        rows.iter().map(|r| r.get(0).as_int()).filter(|&k| seen.insert(k)).collect();
+
+    let scan: BoxedBatchOp<'static> = Box::new(BatchValuesScan::new(rows, Work::new()));
+    let mut d = BatchDistinct::new(scan, vec![0], Work::new());
+
+    let mut got: Vec<i64> = Vec::with_capacity(16);
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    while let Some(b) = d.next_batch() {
+        for i in b.sel_iter() {
+            got.push(b.try_int(0, i).expect("all-Int column"));
+        }
+    }
+    COUNTING.store(false, Ordering::Relaxed);
+    let allocs = ALLOCS.load(Ordering::Relaxed);
+
+    assert_eq!(got, expected, "batch distinct changed the kept keys");
+    assert!(
+        allocs < 64,
+        "BatchDistinct allocated {allocs} times deduping {N} all-Int rows \
+         (per-row scratch keys would cost >= {N})"
     );
 }
 

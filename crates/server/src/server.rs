@@ -35,11 +35,20 @@ pub struct ServerConfig {
     /// Budget applied by [`Server::submit`] (override per query with
     /// [`Server::submit_with`]).
     pub default_budget: BudgetSpec,
+    /// Execution engine the workers evaluate queries on (vectorized
+    /// batches by default; `Engine::Tuple` selects the row-at-a-time
+    /// Volcano path, e.g. for differential testing).
+    pub engine: ts_exec::Engine,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { workers: 4, queue_cap: 64, default_budget: BudgetSpec::default() }
+        ServerConfig {
+            workers: 4,
+            queue_cap: 64,
+            default_budget: BudgetSpec::default(),
+            engine: ts_exec::Engine::Batch,
+        }
     }
 }
 
@@ -248,12 +257,16 @@ impl Server {
             queue_cap: config.queue_cap.max(1),
             stats: StatCells::default(),
         });
+        let engine = config.engine;
         let handles = (0..workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("ts-server-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || {
+                        ts_exec::set_engine(engine);
+                        worker_loop(&shared)
+                    })
                     .expect("spawning a server worker thread")
             })
             .collect();

@@ -65,6 +65,7 @@ fn storm_yields_only_well_formed_responses_and_identical_snapshot_bytes() {
                 step_quota: Some(500_000),
                 row_quota: None,
             },
+            ..ServerConfig::default()
         },
     );
 
@@ -123,7 +124,9 @@ fn storm_yields_only_well_formed_responses_and_identical_snapshot_bytes() {
     // dispatch does not build on this data (hash-plan table scans +
     // joins, and the Sort operator). Drive them directly over the
     // served snapshot, still under the storm; injected panics are
-    // confined the same way the server confines them.
+    // confined the same way the server confines them. Both engines run:
+    // every fail-point site must fire on the tuple path AND the batch
+    // path.
     let snap = server.snapshot();
     let tops = &snap.catalog.alltops;
     for _ in 0..12 {
@@ -140,6 +143,21 @@ fn storm_yields_only_well_formed_responses_and_identical_snapshot_bytes() {
                 Box::new(ts_exec::HashJoin::new(probe, 0, build, 0, work.clone()));
             let mut sorted = ts_exec::Sort::new(join, vec![(2, ts_exec::Dir::Asc)], work.clone());
             ts_exec::collect_all_budgeted(&mut sorted, &work).len()
+        }));
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let work = ts_exec::Work::with_budget(ts_exec::Budget {
+                step_quota: Some(50_000),
+                ..ts_exec::Budget::default()
+            });
+            let probe: ts_exec::BoxedBatchOp<'_> =
+                Box::new(ts_exec::BatchTableScan::new(tops, Predicate::True, work.clone()));
+            let build: ts_exec::BoxedBatchOp<'_> =
+                Box::new(ts_exec::BatchTableScan::new(tops, Predicate::True, work.clone()));
+            let join: ts_exec::BoxedBatchOp<'_> =
+                Box::new(ts_exec::BatchHashJoin::new(probe, 0, build, 0, work.clone()));
+            let mut sorted =
+                ts_exec::BatchSort::new(join, vec![(2, ts_exec::Dir::Asc)], work.clone());
+            ts_exec::batch_collect_all_budgeted(&mut sorted, &work).len()
         }));
     }
 
@@ -367,6 +385,80 @@ fn compute_worker_panic_is_a_typed_error_on_both_paths() {
     faults::disarm_all();
     let clean = try_compute_catalog(&b.db, &graph, &schema, &opts);
     assert!(clean.is_ok(), "the build succeeds once the fault is disarmed");
+}
+
+#[test]
+fn batch_engine_mid_batch_exhaustion_yields_well_formed_degraded_partials() {
+    let _g = guard();
+    faults::disarm_all();
+    let (snap, ids) = snapshot(0.1);
+    let l = snap.catalog.l;
+    // ServerConfig::default() serves on the vectorized batch engine.
+    let server = Server::new(snap, ServerConfig::default());
+    let q = TopologyQuery::new(ids.protein, Predicate::True, ids.dna, Predicate::True, l);
+
+    // A 1-row quota trips mid-batch in the top-k driver: the partial
+    // keeps exactly the quota's worth of distinct groups, score-ordered.
+    let spec = BudgetSpec { deadline_ms: None, step_quota: None, row_quota: Some(1) };
+    let resp = server
+        .submit_with(Method::FullTopKEt, q.clone().with_k(8), spec)
+        .expect("empty queue admits")
+        .wait();
+    match resp {
+        QueryResponse::Degraded { partial, reason, fell_back } => {
+            assert_eq!(reason, Exhausted::Rows);
+            assert_eq!(fell_back, None, "a blown row quota keeps the partial");
+            assert_eq!(partial.topologies.len(), 1, "quota of 1 keeps exactly one group");
+            for w in partial.topologies.windows(2) {
+                assert!(w[0].1 >= w[1].1, "partial top-k must stay score-ordered");
+            }
+        }
+        other => panic!("row quota must degrade mid-batch, got {other:?}"),
+    }
+
+    // Steps and Deadline surface the same way on the batch path.
+    for (spec, want) in [
+        (BudgetSpec { deadline_ms: None, step_quota: Some(10), row_quota: None }, Exhausted::Steps),
+        (
+            BudgetSpec { deadline_ms: Some(0), step_quota: None, row_quota: None },
+            Exhausted::Deadline,
+        ),
+    ] {
+        let resp = server
+            .submit_with(Method::FullTopK, q.clone().with_k(8), spec)
+            .expect("empty queue admits")
+            .wait();
+        match resp {
+            QueryResponse::Degraded { partial, reason, .. } => {
+                assert_eq!(reason, want);
+                assert!(partial.topologies.len() <= 8, "partial top-k never exceeds k");
+                for w in partial.topologies.windows(2) {
+                    assert!(w[0].1 >= w[1].1, "partial top-k must stay score-ordered");
+                }
+            }
+            other => panic!("expected a degraded response with {want:?}, got {other:?}"),
+        }
+    }
+
+    // Cancellation: hold the worker at its fail point so shutdown_now's
+    // cancel token is raised before the evaluation starts ticking; the
+    // batch drivers observe it at the next poll boundary.
+    faults::arm(
+        sites::SERVER_WORKER,
+        Schedule { kind: FaultKind::Delay(60), period: 1, offset: 0, budget: Some(1) },
+    );
+    let ticket = server.submit(Method::FullTop, q).expect("empty queue admits");
+    std::thread::sleep(std::time::Duration::from_millis(15));
+    let report = server.shutdown_now();
+    faults::disarm_all();
+    match ticket.wait() {
+        QueryResponse::Degraded { reason, .. } => assert_eq!(reason, Exhausted::Cancelled),
+        QueryResponse::Failed(detail) => {
+            panic!("cancellation must degrade, not fail: {detail}")
+        }
+        other => panic!("expected a cancelled degraded response, got {other:?}"),
+    }
+    assert!(report.worker_panics.is_empty());
 }
 
 #[test]

@@ -271,6 +271,23 @@ impl ColumnStore {
         }
     }
 
+    /// The raw pool-id buffer of a Str column with no nulls — the Str
+    /// counterpart of [`ColumnStore::ints`], read by the batch execution
+    /// engine so string predicates run against borrowed pool entries
+    /// instead of materializing an `Arc` bump per row. `None` for Int
+    /// columns or Str columns containing a null.
+    pub fn str_ids(&self, col: usize) -> Option<&[u32]> {
+        match &self.columns[col] {
+            Column::Str { ids, nulls } if !nulls.any() => Some(ids),
+            _ => None,
+        }
+    }
+
+    /// The pooled string behind a pool id from [`ColumnStore::str_ids`].
+    pub fn pool_str(&self, id: u32) -> &Arc<str> {
+        self.pool.get(id)
+    }
+
     /// Compare two cells of one column by [`Value`]'s total order
     /// (NULL < Int < Str) without materializing values.
     pub fn cmp_cells(&self, col: usize, a: RowId, b: RowId) -> std::cmp::Ordering {

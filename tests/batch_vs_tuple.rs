@@ -1,0 +1,178 @@
+//! The batch-vs-tuple differential lattice.
+//!
+//! The vectorized batch engine (`ts_exec::Engine::Batch`) and the
+//! original tuple-at-a-time Volcano engine answer every query on the
+//! same substrate, so they cross-check each other cell for cell: the
+//! same 60-query × nine-method × three-rank-scheme grid that pins the
+//! method-equivalence matrix runs once per engine, and every cell —
+//! each method's `(tid, score)` sequence in emission order — must be
+//! identical between the two. Both engines must also reproduce the
+//! pinned FNV matrix digest, so neither can drift even in lockstep.
+
+use topology_search::prelude::*;
+use ts_core::TopologyId;
+use ts_exec::{set_engine, Engine};
+
+/// SplitMix64 — the same deterministic workload RNG as the
+/// method-equivalence harness, so both tests replay one query sequence.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// FNV-1a over a result matrix (identical to the method-equivalence
+/// accumulator, so the pinned constant carries over verbatim).
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// The pinned method-matrix digest — the same constant as
+/// `method_equivalence.rs`. Both engines must reproduce it.
+const MATRIX_DIGEST: u64 = 0x3e9a_bf87_2299_f467;
+
+struct Harness {
+    biozon: ts_biozon::Biozon,
+    graph: ts_graph::DataGraph,
+    schema: ts_graph::SchemaGraph,
+    catalog: Catalog,
+}
+
+fn harness(seed: u64, scale: f64, l: usize, threshold: u64) -> Harness {
+    let mut cfg = ts_biozon::BiozonConfig::default().scaled(scale);
+    cfg.seed = seed;
+    let biozon = biozon::generate(&cfg);
+    let graph = graph::DataGraph::from_db(&biozon.db).expect("generator is consistent");
+    let schema = graph::SchemaGraph::from_db(&biozon.db);
+    let ids = &biozon.ids;
+    let pairs = vec![
+        EsPair::new(ids.protein, ids.dna),
+        EsPair::new(ids.protein, ids.unigene),
+        EsPair::new(ids.protein, ids.interaction),
+        EsPair::new(ids.dna, ids.unigene),
+        EsPair::new(ids.dna, ids.interaction),
+        EsPair::new(ids.unigene, ids.interaction),
+    ];
+    let opts = ComputeOptions { es_pairs: Some(pairs), ..ComputeOptions::with_l(l) };
+    let (mut catalog, _) = compute_catalog(&biozon.db, &graph, &schema, &opts);
+    prune_catalog(&mut catalog, ts_core::PruneOptions { threshold, max_pruned: 32 });
+    score_catalog(&mut catalog, &biozon::domain_scorer(&biozon.ids));
+    Harness { biozon, graph, schema, catalog }
+}
+
+/// The same schema-appropriate random constraint as the
+/// method-equivalence harness.
+fn random_predicate(es: u16, ids: &ts_biozon::SchemaIds, rng: &mut Rng) -> Predicate {
+    if es == ids.dna {
+        match rng.below(3) {
+            0 => Predicate::True,
+            1 => Predicate::eq(1, "mRNA"),
+            _ => Predicate::eq(1, "genomic"),
+        }
+    } else {
+        match rng.below(4) {
+            0 => Predicate::True,
+            1 => biozon::selectivity_predicate(biozon::Selectivity::Selective),
+            2 => biozon::selectivity_predicate(biozon::Selectivity::Medium),
+            _ => biozon::selectivity_predicate(biozon::Selectivity::Unselective),
+        }
+    }
+}
+
+/// One engine's full pass over the grid: every cell's emission-order
+/// `(tid, score-bits)` sequence, plus the running matrix digest.
+fn run_grid(
+    ctx: &QueryContext<'_>,
+    ids: &ts_biozon::SchemaIds,
+) -> (Vec<Vec<(TopologyId, u64)>>, u64) {
+    let espairs = [
+        (ids.protein, ids.dna),
+        (ids.protein, ids.unigene),
+        (ids.protein, ids.interaction),
+        (ids.dna, ids.unigene),
+        (ids.dna, ids.interaction),
+        (ids.unigene, ids.interaction),
+    ];
+    let ks = [1usize, 2, 3, 5, 10, 1_000];
+
+    let mut rng = Rng(0xB10_0B0E);
+    let mut digest = Digest::new();
+    let mut cells = Vec::new();
+    for _ in 0..20 {
+        let (es1, es2) = espairs[rng.below(espairs.len())];
+        let con1 = random_predicate(es1, ids, &mut rng);
+        let con2 = random_predicate(es2, ids, &mut rng);
+        let k = ks[rng.below(ks.len())];
+        for scheme in RankScheme::all() {
+            let q = TopologyQuery::new(es1, con1.clone(), es2, con2.clone(), 2)
+                .with_k(k)
+                .with_scheme(scheme);
+            for (mi, m) in Method::all().into_iter().enumerate() {
+                let got = m.eval(ctx, &q);
+                digest.u64(mi as u64);
+                digest.u64(got.topologies.len() as u64);
+                let mut cell = Vec::with_capacity(got.topologies.len());
+                for &(tid, score) in &got.topologies {
+                    digest.u64(tid as u64);
+                    digest.u64(score.to_bits());
+                    cell.push((tid, score.to_bits()));
+                }
+                cells.push(cell);
+            }
+        }
+    }
+    (cells, digest.0)
+}
+
+#[test]
+fn batch_and_tuple_engines_agree_cell_for_cell_on_the_method_matrix() {
+    let h = harness(1, 0.12, 2, 3);
+    let ids = &h.biozon.ids;
+    let ctx =
+        QueryContext { db: &h.biozon.db, graph: &h.graph, schema: &h.schema, catalog: &h.catalog };
+
+    set_engine(Engine::Tuple);
+    let (tuple_cells, tuple_digest) = run_grid(&ctx, ids);
+    set_engine(Engine::Batch);
+    let (batch_cells, batch_digest) = run_grid(&ctx, ids);
+
+    assert_eq!(tuple_cells.len(), batch_cells.len(), "both engines ran the same grid");
+    assert_eq!(tuple_cells.len(), 20 * 3 * Method::all().len());
+    for (i, (t, b)) in tuple_cells.iter().zip(&batch_cells).enumerate() {
+        assert_eq!(
+            t, b,
+            "cell {i}: the batch engine emitted a different (tid, score) sequence than tuple"
+        );
+    }
+
+    // Neither engine may drift, even in lockstep: both digests must
+    // equal the constant pinned in method_equivalence.rs.
+    assert_eq!(
+        tuple_digest, MATRIX_DIGEST,
+        "tuple engine diverged from the pinned method-matrix digest"
+    );
+    assert_eq!(
+        batch_digest, MATRIX_DIGEST,
+        "batch engine diverged from the pinned method-matrix digest"
+    );
+}
