@@ -214,6 +214,9 @@ impl<'a> BatchIdgj<'a> {
     /// boundary and parking the remainder.
     fn next_outer(&mut self) -> Option<Batch<'a>> {
         let mut b = self.pending.pop_front().or_else(|| self.outer.next_batch())?;
+        // lint: allow(panic-on-worker-path): operators never emit an empty
+        // batch (next_batch returns None instead), and next_outer never
+        // parks an empty remainder
         let group = b.value(self.group_col, b.first().expect("non-empty batch"));
         let split: Vec<u32> = b
             .sel_iter()
@@ -246,6 +249,9 @@ impl<'a> BatchOperator<'a> for BatchIdgj<'a> {
                 return None;
             }
             let mut ob = self.next_outer()?;
+            // lint: allow(panic-on-worker-path): operators never emit an empty
+            // batch (next_batch returns None instead), and next_outer never
+            // parks an empty remainder
             let group = ob.value(self.group_col, ob.first().expect("non-empty batch"));
             if self.current_group.as_ref() != Some(&group) {
                 self.chunk = PROBE_CHUNK0;
@@ -290,6 +296,9 @@ impl<'a> BatchOperator<'a> for BatchIdgj<'a> {
         // Drop unprobed chunk remainders of the skipped group — this is
         // the early-termination saving: those rows are never probed.
         while let Some(front) = self.pending.front() {
+            // lint: allow(panic-on-worker-path): operators never emit an empty
+            // batch (next_batch returns None instead), and next_outer never
+            // parks an empty remainder
             let g = front.value(self.group_col, front.first().expect("non-empty batch"));
             if g != current {
                 break;
@@ -305,6 +314,9 @@ impl<'a> BatchOperator<'a> for BatchIdgj<'a> {
                 // parking the first batch of the next group.
                 while let Some(b) = self.next_outer() {
                     self.work.tick(b.selected() as u64);
+                    // lint: allow(panic-on-worker-path): operators never emit an empty
+                    // batch (next_batch returns None instead), and next_outer never
+                    // parks an empty remainder
                     let g = b.value(self.group_col, b.first().expect("non-empty batch"));
                     if g != current {
                         self.pending.push_front(b);
@@ -488,6 +500,9 @@ impl<'a> BatchHdgj<'a> {
     /// batches from an ungrouped outer, as in [`BatchIdgj`]).
     fn next_outer(&mut self) -> Option<Batch<'a>> {
         let mut b = self.pending.pop_front().or_else(|| self.outer.next_batch())?;
+        // lint: allow(panic-on-worker-path): operators never emit an empty
+        // batch (next_batch returns None instead), and next_outer never
+        // parks an empty remainder
         let group = b.value(self.group_col, b.first().expect("non-empty batch"));
         let split: Vec<u32> = b
             .sel_iter()
@@ -524,10 +539,16 @@ impl<'a> BatchHdgj<'a> {
                 return;
             };
             self.work.tick(first.selected() as u64);
+            // lint: allow(panic-on-worker-path): operators never emit an empty
+            // batch (next_batch returns None instead), and next_outer never
+            // parks an empty remainder
             let group = first.value(self.group_col, first.first().expect("non-empty batch"));
             let mut group_rows: Vec<Row> = first.materialize();
             while self.pending.is_empty() {
                 let Some(b) = self.next_outer() else { break };
+                // lint: allow(panic-on-worker-path): operators never emit an empty
+                // batch (next_batch returns None instead), and next_outer never
+                // parks an empty remainder
                 let g = b.value(self.group_col, b.first().expect("non-empty batch"));
                 self.work.tick(b.selected() as u64);
                 if g == group {

@@ -22,6 +22,8 @@ use crate::op::{Operator, Work};
 /// Drain an operator completely.
 pub fn collect_all(op: &mut dyn Operator) -> Vec<Row> {
     let mut out = Vec::new();
+    // lint: allow(unmetered-loop): unbudgeted drain for tests and offline
+    // build paths; serving goes through collect_all_budgeted, which polls
     while let Some(r) = op.next() {
         out.push(r);
     }
@@ -120,6 +122,8 @@ fn distinct_topk(
 /// Drain a batch operator completely, materializing selected rows.
 pub fn batch_collect_all<'a>(op: &mut dyn BatchOperator<'a>) -> Vec<Row> {
     let mut out = Vec::new();
+    // lint: allow(unmetered-loop): unbudgeted drain for tests and offline
+    // build paths; serving goes through batch_collect_all_budgeted
     while let Some(b) = op.next_batch() {
         out.extend(b.sel_iter().map(|i| b.materialize_row(i)));
     }

@@ -228,6 +228,9 @@ pub trait Operator {
     /// the optimizer must only place group-skips above group-preserving
     /// operators.
     fn advance_to_next_group(&mut self) {
+        // lint: allow(panic-on-worker-path): contract violation — the
+        // optimizer only places group-skips above group-preserving
+        // operators; the per-query unwind boundary confines the abort
         panic!("advance_to_next_group called on a non-grouped operator");
     }
 }

@@ -348,6 +348,8 @@ impl<'a> BatchUnionAll<'a> {
 
 impl<'a> BatchOperator<'a> for BatchUnionAll<'a> {
     fn next_batch(&mut self) -> Option<Batch<'a>> {
+        // lint: allow(unmetered-loop): bounded by inputs.len(); each
+        // iteration pulls a child operator, which polls its own meter
         while self.current < self.inputs.len() {
             if let Some(b) = self.inputs[self.current].next_batch() {
                 return Some(b);
@@ -381,6 +383,8 @@ impl<'a> UnionAll<'a> {
 
 impl Operator for UnionAll<'_> {
     fn next(&mut self) -> Option<Row> {
+        // lint: allow(unmetered-loop): bounded by inputs.len(); each
+        // iteration pulls a child operator, which polls its own meter
         while self.current < self.inputs.len() {
             if let Some(r) = self.inputs[self.current].next() {
                 return Some(r);

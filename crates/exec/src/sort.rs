@@ -82,6 +82,8 @@ impl Operator for Sort<'_> {
             return None;
         }
         self.fill();
+        // lint: allow(panic-on-worker-path): fill() on the line above
+        // guarantees the buffer is Some
         let buf = self.buffer.as_mut().expect("filled");
         if self.pos < buf.len() {
             // Move the row out instead of cloning it: each pass over the
@@ -122,6 +124,8 @@ impl Operator for Sort<'_> {
         let Some(current) = self.last_group.clone() else {
             return; // nothing emitted yet: already at a group boundary
         };
+        // lint: allow(panic-on-worker-path): fill() on the line above
+        // guarantees the buffer is Some
         let buf = self.buffer.as_ref().expect("filled");
         while self.pos < buf.len() && *buf[self.pos].get(col) == current {
             self.pos += 1;
@@ -255,6 +259,8 @@ impl<'a> BatchOperator<'a> for BatchSort<'a> {
             return None;
         }
         self.fill();
+        // lint: allow(panic-on-worker-path): fill() on the line above
+        // guarantees the buffer is Some
         let buf = self.buffer.as_ref().expect("filled");
         if self.pos >= self.len {
             return None;
@@ -264,6 +270,8 @@ impl<'a> BatchOperator<'a> for BatchSort<'a> {
         if let Some(&(col, _)) = self.keys.first() {
             let group = buf[col].value(self.pos);
             let mut e = self.pos + 1;
+            // lint: allow(unmetered-loop): bounded by one batch; the tick
+            // below charges end - pos rows
             while e < end && buf[col].value(e) == group {
                 e += 1;
             }
@@ -299,6 +307,8 @@ impl<'a> BatchOperator<'a> for BatchSort<'a> {
         let Some(current) = self.last_group.clone() else {
             return; // nothing emitted yet: already at a group boundary
         };
+        // lint: allow(panic-on-worker-path): fill() on the line above
+        // guarantees the buffer is Some
         let buf = self.buffer.as_ref().expect("filled");
         while self.pos < self.len && buf[col].value(self.pos) == current {
             self.pos += 1;

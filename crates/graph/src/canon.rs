@@ -60,6 +60,8 @@ pub fn canonical_code(g: &LGraph) -> CanonicalCode {
         best: None,
     };
     search.run();
+    // lint: allow(panic-on-worker-path): the n == 0 early return above
+    // means run() always records at least one candidate code
     CanonicalCode(search.best.expect("non-empty graph yields a code"))
 }
 
@@ -88,6 +90,8 @@ fn refine(g: &LGraph) -> Vec<u32> {
     let mut colors: Vec<u32> = g
         .labels
         .iter()
+        // lint: allow(panic-on-worker-path): sorted_labels was built from
+        // exactly these labels three lines above, so the search always hits
         .map(|l| cast::to_u32(sorted_labels.binary_search(l).expect("label present")))
         .collect();
 
@@ -108,6 +112,8 @@ fn refine(g: &LGraph) -> Vec<u32> {
         distinct.dedup();
         let new_colors: Vec<u32> = sigs
             .iter()
+            // lint: allow(panic-on-worker-path): distinct was built from
+            // sigs on the line above, so the search always hits
             .map(|s| cast::to_u32(distinct.binary_search(&s).expect("sig present")))
             .collect();
         if new_colors == colors {
@@ -153,6 +159,8 @@ impl Search<'_> {
             .filter(|&v| !self.used[v])
             .map(|v| self.colors[v])
             .min()
+            // lint: allow(panic-on-worker-path): the code.len() == n branch
+            // above returns first when every node is used
             .expect("unused node exists");
         let candidates: Vec<usize> =
             (0..n).filter(|&v| !self.used[v] && self.colors[v] == cmin).collect();

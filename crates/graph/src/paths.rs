@@ -88,6 +88,8 @@ impl PathRef<'_> {
 
     /// `(first, last)` node.
     pub fn endpoints(&self) -> (NodeId, NodeId) {
+        // lint: allow(panic-on-worker-path): Path is only constructed with
+        // at least one node (a path of k rels has k + 1 nodes)
         (*self.nodes.first().expect("path has nodes"), *self.nodes.last().expect("path has nodes"))
     }
 
@@ -127,6 +129,8 @@ impl PathRef<'_> {
             arena.push(g.node_type(self.nodes[i]));
             arena.push(self.rels[i]);
         }
+        // lint: allow(panic-on-worker-path): Path is only constructed with
+        // at least one node
         arena.push(g.node_type(*self.nodes.last().expect("path has nodes")));
         PathSig::normalize_slice(&mut arena[start..]);
     }
@@ -312,6 +316,8 @@ fn dfs<S: PathSink>(
     rels: &mut Vec<u16>,
     sink: &mut S,
 ) {
+    // lint: allow(panic-on-worker-path): the dfs entry point seeds nodes
+    // with the start node before the first recursive call
     let cur = *nodes.last().expect("path non-empty");
     if !rels.is_empty() && g.node_type(cur) == to_es {
         sink.accept(nodes, rels);
@@ -394,6 +400,8 @@ struct PairSink {
 
 impl PathSink for PairSink {
     fn accept(&mut self, nodes: &[NodeId], rels: &[u16]) {
+        // lint: allow(panic-on-worker-path): sinks only receive non-empty
+        // node lists — accept fires after the dfs seeded its start node
         let (s, e) = (nodes[0], *nodes.last().expect("path has nodes"));
         if self.same_type && s > e {
             // Each undirected pair is discovered from both endpoints;

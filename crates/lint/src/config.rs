@@ -7,6 +7,12 @@
 //! all) and an optional `include-tests` boolean (default `false`; rules
 //! with it set also run in `tests/`, `benches/`, `examples/`, and
 //! inline `#[cfg(test)]` modules).
+//!
+//! The call-graph rules take extra per-rule parameters: any other key
+//! in a `[rules.<name>]` section is kept generically — a `["..."]`
+//! value as a string list ([`RuleScope::list`]), a bare integer as a
+//! number ([`RuleScope::num`]). Rules read them with built-in defaults,
+//! so an empty section enables a rule with its documented behavior.
 
 use std::collections::BTreeMap;
 
@@ -17,12 +23,29 @@ pub struct RuleScope {
     pub crates: Vec<String>,
     /// When true the rule also runs in test/bench/example code.
     pub include_tests: bool,
+    /// Extra string-list parameters (`fns`, `entries`, `sinks`, ...).
+    pub lists: BTreeMap<String, Vec<String>>,
+    /// Extra integer parameters (`hops`, ...).
+    pub nums: BTreeMap<String, usize>,
 }
 
 impl RuleScope {
     /// True when the rule covers `crate_name`.
     pub fn covers(&self, crate_name: &str) -> bool {
         self.crates.iter().any(|c| c == "*" || c == crate_name)
+    }
+
+    /// The configured list for `key`, or `default` when absent.
+    pub fn list<'a>(&'a self, key: &str, default: &'a [&'a str]) -> Vec<&'a str> {
+        match self.lists.get(key) {
+            Some(v) => v.iter().map(|s| s.as_str()).collect(),
+            None => default.to_vec(),
+        }
+    }
+
+    /// The configured number for `key`, or `default` when absent.
+    pub fn num(&self, key: &str, default: usize) -> usize {
+        self.nums.get(key).copied().unwrap_or(default)
     }
 }
 
@@ -71,6 +94,19 @@ impl Config {
                 (s, "include-tests") if s.starts_with("rules.") => {
                     let rule = s.trim_start_matches("rules.").to_string();
                     cfg.rules.entry(rule).or_default().include_tests = parse_bool(value, n)?;
+                }
+                (s, k) if s.starts_with("rules.") => {
+                    let rule = s.trim_start_matches("rules.").to_string();
+                    let scope = cfg.rules.entry(rule).or_default();
+                    if value.starts_with('[') {
+                        scope.lists.insert(k.to_string(), parse_list(value, n)?);
+                    } else if let Ok(num) = value.parse::<usize>() {
+                        scope.nums.insert(k.to_string(), num);
+                    } else {
+                        return Err(format!(
+                            "line {n}: rule key `{k}` must be a [\"...\"] list or an integer"
+                        ));
+                    }
                 }
                 _ => return Err(format!("line {n}: unknown key `{key}` in section [{section}]")),
             }
@@ -139,5 +175,20 @@ mod tests {
         assert!(Config::parse("[skip]\nfiles = []\n").is_err());
         assert!(Config::parse("[rules.x]\ncrates = nope\n").is_err());
         assert!(Config::parse("[rules.x]\ninclude-tests = maybe\n").is_err());
+        assert!(Config::parse("[rules.x]\nhops = \"two\"\n").is_err());
+    }
+
+    #[test]
+    fn rule_params_lists_and_nums() {
+        let cfg = Config::parse(
+            "[rules.unmetered-loop]\ncrates = [\"ts-exec\"]\n\
+             fns = [\"next\", \"next_batch\"]\nhops = 3\n",
+        )
+        .unwrap();
+        let scope = &cfg.rules["unmetered-loop"];
+        assert_eq!(scope.list("fns", &["z"]), vec!["next", "next_batch"]);
+        assert_eq!(scope.list("absent", &["z"]), vec!["z"]);
+        assert_eq!(scope.num("hops", 2), 3);
+        assert_eq!(scope.num("absent", 2), 2);
     }
 }

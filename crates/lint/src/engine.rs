@@ -15,6 +15,9 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::config::Config;
+use crate::flow::run_flow_rules;
+use crate::graph::{Workspace, WsFile};
+use crate::parse::ItemTree;
 use crate::rules::{
     is_known_rule, run_rules, FileCtx, FileKind, Violation, BAD_ALLOW, UNUSED_ALLOW,
 };
@@ -77,87 +80,117 @@ impl Linter {
 
     /// Lint one in-memory source. `path_label` is used in findings;
     /// `ctx` supplies the crate attribution the workspace walk would
-    /// have derived. This is the fixture corpus' entry point.
+    /// have derived. This is the fixture corpus' entry point: the file
+    /// is linted as a single-file workspace, so the call-graph rules
+    /// resolve calls within it.
     pub fn lint_source(&self, path_label: &str, text: &str, ctx: &FileCtx) -> Vec<Finding> {
-        let file = SourceFile::parse(text);
-        let mut violations = run_rules(&file, ctx, &self.config);
-
-        // Apply suppressions: an allow matches a violation of its rule
-        // on its target line.
-        let mut used = vec![false; file.allows.len()];
-        violations.retain(|v| {
-            let mut suppressed = false;
-            for (ai, a) in file.allows.iter().enumerate() {
-                if a.rule == v.rule && a.target == v.line {
-                    used[ai] = true;
-                    suppressed = true;
-                }
-            }
-            !suppressed
-        });
-
-        // Meta rules over the directives themselves.
-        for (ai, a) in file.allows.iter().enumerate() {
-            if !is_known_rule(&a.rule) {
-                violations.push(Violation {
-                    rule: BAD_ALLOW,
-                    line: a.line,
-                    message: format!("allow directive names unknown rule `{}`", a.rule),
-                });
-            } else if a.reason.is_empty() {
-                violations.push(Violation {
-                    rule: BAD_ALLOW,
-                    line: a.line,
-                    message: format!(
-                        "allow({}) carries no reason; write `// lint: allow({}): <why>`",
-                        a.rule, a.rule
-                    ),
-                });
-            } else if !used[ai] {
-                violations.push(Violation {
-                    rule: UNUSED_ALLOW,
-                    line: a.line,
-                    message: format!(
-                        "allow({}) suppresses nothing on line {}; remove the stale directive",
-                        a.rule, a.target
-                    ),
-                });
-            }
-        }
-        violations.sort_by_key(|v| v.line);
-
-        violations
-            .into_iter()
-            .map(|v| {
-                let excerpt =
-                    file.line(v.line).map(|l| l.raw.trim().to_string()).unwrap_or_default();
-                Finding { path: path_label.to_string(), violation: v, excerpt }
-            })
-            .collect()
+        let src = SourceFile::parse(text);
+        let items = ItemTree::parse(&src);
+        let ws = Workspace::build(vec![WsFile {
+            path: path_label.to_string(),
+            ctx: ctx.clone(),
+            src,
+            items,
+        }]);
+        self.lint_built(&ws).findings
     }
 
     /// Lint every `.rs` file under `root`, honoring the config's skip
     /// list. Findings come back ordered by (path, line).
     pub fn lint_workspace(&self, root: &Path) -> io::Result<Report> {
+        let ws = self.build_workspace(root)?;
+        Ok(self.lint_built(&ws))
+    }
+
+    /// Phase one: parse every `.rs` file under `root` into the
+    /// workspace model (files sorted by path, symbol table and call
+    /// graph resolved). Exposed for the CLI's `--graph` dump.
+    pub fn build_workspace(&self, root: &Path) -> io::Result<Workspace> {
         let mut files = Vec::new();
         collect_rs_files(root, root, &self.config.skip_dirs, &mut files)?;
         files.sort();
         let mut crate_names: BTreeMap<PathBuf, Option<String>> = BTreeMap::new();
-        let mut report = Report::default();
+        let mut ws_files = Vec::new();
         for path in files {
             let rel = path.strip_prefix(root).unwrap_or(&path);
-            let rel_str = path_to_slash(rel);
             let text = fs::read_to_string(&path)?;
             let ctx = FileCtx {
                 crate_name: crate_name_for(root, &path, &mut crate_names)
                     .unwrap_or_else(|| "unknown".to_string()),
                 kind: file_kind(rel),
             };
-            report.files += 1;
-            report.findings.extend(self.lint_source(&rel_str, &text, &ctx));
+            let src = SourceFile::parse(&text);
+            let items = ItemTree::parse(&src);
+            ws_files.push(WsFile { path: path_to_slash(rel), ctx, src, items });
         }
-        Ok(report)
+        Ok(Workspace::build(ws_files))
     }
+
+    /// Phase two: run the per-file lexical rules and the cross-file
+    /// call-graph rules over a built workspace, then apply allow
+    /// directives and the meta rules per file.
+    pub fn lint_built(&self, ws: &Workspace) -> Report {
+        let mut per_file: Vec<Vec<Violation>> =
+            ws.files.iter().map(|f| run_rules(&f.src, &f.ctx, &self.config)).collect();
+        for (fi, v) in run_flow_rules(ws, &self.config) {
+            per_file[fi].push(v);
+        }
+        let mut report = Report { files: ws.files.len(), findings: Vec::new() };
+        for (file, violations) in ws.files.iter().zip(per_file) {
+            let violations = apply_allows(&file.src, violations);
+            report.findings.extend(violations.into_iter().map(|v| {
+                let excerpt =
+                    file.src.line(v.line).map(|l| l.raw.trim().to_string()).unwrap_or_default();
+                Finding { path: file.path.clone(), violation: v, excerpt }
+            }));
+        }
+        report
+    }
+}
+
+/// Apply suppressions (an allow matches a violation of its rule on its
+/// target line) and run the meta rules over the directives themselves.
+fn apply_allows(src: &SourceFile, mut violations: Vec<Violation>) -> Vec<Violation> {
+    let mut used = vec![false; src.allows.len()];
+    violations.retain(|v| {
+        let mut suppressed = false;
+        for (ai, a) in src.allows.iter().enumerate() {
+            if a.rule == v.rule && a.target == v.line {
+                used[ai] = true;
+                suppressed = true;
+            }
+        }
+        !suppressed
+    });
+    for (ai, a) in src.allows.iter().enumerate() {
+        if !is_known_rule(&a.rule) {
+            violations.push(Violation::new(
+                BAD_ALLOW,
+                a.line,
+                format!("allow directive names unknown rule `{}`", a.rule),
+            ));
+        } else if a.reason.is_empty() {
+            violations.push(Violation::new(
+                BAD_ALLOW,
+                a.line,
+                format!(
+                    "allow({}) carries no reason; write `// lint: allow({}): <why>`",
+                    a.rule, a.rule
+                ),
+            ));
+        } else if !used[ai] {
+            violations.push(Violation::new(
+                UNUSED_ALLOW,
+                a.line,
+                format!(
+                    "allow({}) suppresses nothing on line {}; remove the stale directive",
+                    a.rule, a.target
+                ),
+            ));
+        }
+    }
+    violations.sort_by_key(|v| v.line);
+    violations
 }
 
 /// Forward-slashed path string (stable across platforms for output).

@@ -12,6 +12,14 @@
 //! wall-clock/RNG in catalog construction, silent narrowing casts in
 //! offset math, panics in library code, and undocumented `unsafe`.
 //!
+//! On top of the lexer sits a total (never-panicking) recursive-descent
+//! item parser ([`parse`]) and a workspace symbol table with a
+//! conservative name-resolution call graph ([`graph`]), powering three
+//! cross-file rule families ([`flow`]): budget-poll discipline in
+//! operator loops (`unmetered-loop`), panic reachability from the
+//! server worker path (`panic-on-worker-path`), and hash-order dataflow
+//! into catalog sinks (`determinism-taint`).
+//!
 //! Run it over the workspace with:
 //!
 //! ```text
@@ -34,10 +42,15 @@
 
 pub mod config;
 pub mod engine;
+pub mod flow;
+pub mod graph;
+pub mod parse;
 pub mod rules;
 pub mod source;
 
 pub use config::{Config, RuleScope};
 pub use engine::{Finding, Linter, Report};
+pub use graph::{FnId, Workspace, WsFile};
+pub use parse::ItemTree;
 pub use rules::{FileCtx, FileKind, RuleInfo, Violation, RULES};
 pub use source::{Allow, SourceFile};

@@ -1,10 +1,13 @@
 //! `ts-lint` CLI: lint the workspace, exit nonzero on findings.
 //!
 //! ```text
-//! ts-lint [--config <path>] [--list-rules] [ROOT]
+//! ts-lint [--config <path>] [--list-rules] [--graph] [--explain] [ROOT]
 //! ```
 //!
 //! `ROOT` defaults to `.` and the config to `ROOT/ts-lint.toml`.
+//! `--graph` dumps the resolved call graph instead of linting;
+//! `--explain` prints each finding's evidence notes (call chains,
+//! taint paths) under the finding.
 
 #![forbid(unsafe_code)]
 
@@ -17,10 +20,14 @@ fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut config_path: Option<PathBuf> = None;
     let mut list_rules = false;
+    let mut graph = false;
+    let mut explain = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list-rules" => list_rules = true,
+            "--graph" => graph = true,
+            "--explain" => explain = true,
             "--config" => match args.next() {
                 Some(p) => config_path = Some(PathBuf::from(p)),
                 None => return usage("--config needs a path"),
@@ -55,10 +62,27 @@ fn main() -> ExitCode {
     };
 
     let linter = Linter::new(config);
+    if graph {
+        return match linter.build_workspace(&root) {
+            Ok(ws) => {
+                println!("{}", ws.graph_dump());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("ts-lint: scan failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
     match linter.lint_workspace(&root) {
         Ok(report) => {
             for finding in &report.findings {
                 println!("{finding}");
+                if explain {
+                    for note in &finding.violation.notes {
+                        println!("    = {note}");
+                    }
+                }
             }
             if report.is_clean() {
                 println!("ts-lint: clean ({} files)", report.files);
@@ -90,7 +114,7 @@ fn usage(err: &str) -> ExitCode {
     if !err.is_empty() {
         eprintln!("ts-lint: {err}");
     }
-    eprintln!("usage: ts-lint [--config <path>] [--list-rules] [ROOT]");
+    eprintln!("usage: ts-lint [--config <path>] [--list-rules] [--graph] [--explain] [ROOT]");
     if err.is_empty() {
         ExitCode::SUCCESS
     } else {

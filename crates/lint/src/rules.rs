@@ -1,4 +1,5 @@
-//! The six project-specific rules.
+//! The per-file lexical rules (the call-graph rule families live in
+//! [`crate::flow`]).
 //!
 //! Every rule pattern-matches the *sanitized* token stream from
 //! [`crate::source`] — string literals, char literals, and comments can
@@ -43,6 +44,16 @@ pub struct Violation {
     pub line: usize,
     /// Human-readable message with the remedy.
     pub message: String,
+    /// Extra evidence lines (call chains, taint paths) shown by
+    /// `--explain`.
+    pub notes: Vec<String>,
+}
+
+impl Violation {
+    /// A note-less finding (the common case for lexical rules).
+    pub fn new(rule: &'static str, line: usize, message: String) -> Violation {
+        Violation { rule, line, message, notes: Vec::new() }
+    }
 }
 
 /// Static description of one rule, for `--list-rules` and the README.
@@ -69,6 +80,8 @@ pub const UNDOCUMENTED_UNSAFE: &str = "undocumented-unsafe";
 pub const BARE_JOIN_EXPECT: &str = "bare-join-expect";
 /// Name of the catch_unwind audit rule.
 pub const CATCH_UNWIND_AUDIT: &str = "catch-unwind-audit";
+pub use crate::flow::{DETERMINISM_TAINT, PANIC_ON_WORKER_PATH, UNMETERED_LOOP};
+
 /// Meta rule: malformed or reasonless allow directives.
 pub const BAD_ALLOW: &str = "bad-allow";
 /// Meta rule: allow directives that suppress nothing.
@@ -114,6 +127,24 @@ pub const RULES: &[RuleInfo] = &[
         name: CATCH_UNWIND_AUDIT,
         summary: "every `catch_unwind` site is a panic-isolation boundary and must carry \
                   an allow directive auditing what it confines and where failures go",
+    },
+    RuleInfo {
+        name: UNMETERED_LOOP,
+        summary: "a loop in an operator/driver body must reach a Work budget poll \
+                  (tick/count_row) within the configured call-graph hops, or the \
+                  deadline/cancel machinery starves",
+    },
+    RuleInfo {
+        name: PANIC_ON_WORKER_PATH,
+        summary: "panic sites (unwrap/expect/panic!) transitively reachable from the \
+                  server worker entry points ride the per-query isolation boundary \
+                  and must become errors or carry a reasoned allow",
+    },
+    RuleInfo {
+        name: DETERMINISM_TAINT,
+        summary: "data iterated out of a FastMap/FastSet/HashMap must pass a sort \
+                  (or an order-insensitive reduction) before reaching a \
+                  catalog/serialization sink",
     },
 ];
 
@@ -166,6 +197,18 @@ fn toks(code: &str) -> Vec<Tok> {
         out.push(Tok::Word(word));
     }
     out
+}
+
+/// [`active`] addressed by 1-based line number — the form the
+/// call-graph rules in [`crate::flow`] need.
+pub(crate) fn line_active(
+    cfg: &Config,
+    ctx: &FileCtx,
+    rule: &str,
+    src: &SourceFile,
+    n: usize,
+) -> bool {
+    src.line(n).is_some_and(|l| active(cfg, ctx, rule, l))
 }
 
 /// Should this (line, rule) combination be checked at all?
@@ -222,8 +265,9 @@ const ORDER_SINKS: [&str; 12] = [
 
 /// Collect names declared (or typed) as one of the four map types:
 /// `name: FastMap<..>` (lets, fields, params) and
-/// `let [mut] name = .. FastMap::..`.
-fn collect_map_names(file: &SourceFile) -> BTreeSet<String> {
+/// `let [mut] name = .. FastMap::..`. Shared with the taint rule in
+/// [`crate::flow`].
+pub(crate) fn collect_map_names(file: &SourceFile) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for line in &file.lines {
         let t = toks(&line.code);
@@ -335,6 +379,7 @@ fn unordered_iter(file: &SourceFile, ctx: &FileCtx, cfg: &Config, out: &mut Vec<
             if !window_has_sink {
                 out.push(Violation {
                     rule: UNORDERED_ITER,
+                    notes: Vec::new(),
                     line: n,
                     message: format!(
                         "{what} iterates an unordered map/set; hash order can leak into \
@@ -364,6 +409,7 @@ fn std_hash(file: &SourceFile, ctx: &FileCtx, cfg: &Config, out: &mut Vec<Violat
         if fire {
             out.push(Violation {
                 rule: STD_HASH,
+                notes: Vec::new(),
                 line: n,
                 message: "std HashMap/HashSet in a hot-path crate: use the \
                           ts_storage::{FastMap, FastSet} aliases (SipHash costs real wall \
@@ -396,6 +442,7 @@ fn nondet_source(file: &SourceFile, ctx: &FileCtx, cfg: &Config, out: &mut Vec<V
         if let Some(p) = NONDET_PATTERNS.iter().find(|p| line.code.contains(*p)) {
             out.push(Violation {
                 rule: NONDET_SOURCE,
+                notes: Vec::new(),
                 line: idx + 1,
                 message: format!(
                     "`{p}` is a nondeterminism source in catalog-construction code; plumb \
@@ -421,6 +468,7 @@ fn narrowing_cast(file: &SourceFile, ctx: &FileCtx, cfg: &Config, out: &mut Vec<
                     if NARROW_TARGETS.contains(&target) {
                         out.push(Violation {
                             rule: NARROWING_CAST,
+                            notes: Vec::new(),
                             line: idx + 1,
                             message: format!(
                                 "bare `as {target}` can truncate silently; use the checked \
@@ -448,6 +496,7 @@ fn unwrap_in_lib(file: &SourceFile, ctx: &FileCtx, cfg: &Config, out: &mut Vec<V
         if let Some(p) = PANIC_PATTERNS.iter().find(|p| line.code.contains(*p)) {
             out.push(Violation {
                 rule: UNWRAP_IN_LIB,
+                notes: Vec::new(),
                 line: idx + 1,
                 message: format!(
                     "`{}` in library code can abort the whole build/serve path; return an \
@@ -484,6 +533,7 @@ fn undocumented_unsafe(file: &SourceFile, ctx: &FileCtx, cfg: &Config, out: &mut
         if !documented {
             out.push(Violation {
                 rule: UNDOCUMENTED_UNSAFE,
+                notes: Vec::new(),
                 line: idx + 1,
                 message: "`unsafe` without a `// SAFETY:` comment on or directly above it; \
                           state the invariant that makes this sound"
@@ -505,6 +555,7 @@ fn bare_join_expect(file: &SourceFile, ctx: &FileCtx, cfg: &Config, out: &mut Ve
         if let Some(p) = JOIN_PATTERNS.iter().find(|p| line.code.contains(*p)) {
             out.push(Violation {
                 rule: BARE_JOIN_EXPECT,
+                notes: Vec::new(),
                 line: idx + 1,
                 message: format!(
                     "`{p}..)` re-raises a worker panic in the joining thread, aborting the \
@@ -525,6 +576,7 @@ fn catch_unwind_audit(file: &SourceFile, ctx: &FileCtx, cfg: &Config, out: &mut 
         if line.code.contains("catch_unwind(") {
             out.push(Violation {
                 rule: CATCH_UNWIND_AUDIT,
+                notes: Vec::new(),
                 line: idx + 1,
                 message: "`catch_unwind` erects a panic-isolation boundary that must be \
                           audited: allow with a reason stating what can panic inside, why \

@@ -1,0 +1,37 @@
+//! Docs/binary drift gate: the rule catalog in `docs/LINTS.md` must
+//! name exactly the rules the binary registers — a rule added without
+//! documentation, or documentation for a rule that was removed or
+//! renamed, fails here (and in CI, which runs the same comparison
+//! against `--list-rules`).
+
+use std::collections::BTreeSet;
+
+const LINTS_MD: &str = include_str!("../../../docs/LINTS.md");
+
+/// Rule names documented as `### `rule-name`` headings.
+fn documented() -> BTreeSet<String> {
+    LINTS_MD
+        .lines()
+        .filter_map(|l| l.strip_prefix("### `"))
+        .filter_map(|rest| rest.strip_suffix('`'))
+        .map(|name| name.to_string())
+        .collect()
+}
+
+#[test]
+fn catalog_matches_registered_rules() {
+    let mut registered: BTreeSet<String> =
+        ts_lint::RULES.iter().map(|r| r.name.to_string()).collect();
+    // The always-on meta rules are not in RULES but are part of the
+    // user-facing surface (and of `--list-rules`).
+    registered.insert(ts_lint::rules::BAD_ALLOW.to_string());
+    registered.insert(ts_lint::rules::UNUSED_ALLOW.to_string());
+    let documented = documented();
+    let missing: Vec<_> = registered.difference(&documented).collect();
+    let stale: Vec<_> = documented.difference(&registered).collect();
+    assert!(
+        missing.is_empty() && stale.is_empty(),
+        "docs/LINTS.md drifted from the registered rule set: \
+         undocumented {missing:?}, stale headings {stale:?}"
+    );
+}

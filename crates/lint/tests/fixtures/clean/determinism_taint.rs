@@ -1,0 +1,55 @@
+// Must-NOT-fire corpus for `determinism-taint`: sorted-before-sink,
+// ordered-container collection, order-insensitive reductions, taint
+// cleansed by an explicit receiver sort, untainted data, a justified
+// allow, and test code.
+
+use std::collections::BTreeMap;
+use ts_storage::FastMap;
+
+fn sorted_before_sink(m: &FastMap<u32, u32>, cat: &mut Catalog) {
+    let mut keys: Vec<u32> = m.keys().copied().collect();
+    keys.sort_unstable();
+    for k in keys {
+        cat.add_pair(k);
+    }
+}
+
+fn ordered_container(m: &FastMap<u32, u32>, cat: &mut Catalog) {
+    let ordered: BTreeMap<u32, u32> = m.iter().map(|(k, v)| (*k, *v)).collect();
+    for (k, _v) in &ordered {
+        cat.add_pair(*k);
+    }
+}
+
+fn order_insensitive(m: &FastMap<u32, u64>, cat: &mut Catalog) {
+    let total: u64 = m.values().sum();
+    cat.add_pair(total);
+}
+
+fn untainted_slice(values: &[u32], cat: &mut Catalog) {
+    for v in values {
+        cat.add_pair(*v);
+    }
+}
+
+fn justified(m: &FastMap<u32, u32>, cat: &mut Catalog) {
+    for (k, _v) in m.iter() {
+        // lint: allow(determinism-taint): the catalog slot is keyed by
+        // k itself, so insertion order cannot reach the bytes
+        cat.insert_row(*k);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_may_leak_order() {
+        let m: FastMap<u32, u32> = FastMap::default();
+        let mut cat = Catalog::default();
+        for (k, _v) in m.iter() {
+            cat.add_pair(*k);
+        }
+    }
+}

@@ -9,3 +9,11 @@ fn unknown_rule(xs: &[u32]) -> u32 {
 fn missing_reason(xs: &[u32]) -> u32 {
     xs.len() as u32 // lint: allow(narrowing-cast) //~ FIRE bad-allow
 }
+
+fn reasonless_metering_allow(xs: &[u32]) -> usize {
+    xs.len() // lint: allow(unmetered-loop) //~ FIRE bad-allow
+}
+
+fn reasonless_taint_allow(xs: &[u32]) -> usize {
+    xs.len() // lint: allow(determinism-taint) //~ FIRE bad-allow
+}

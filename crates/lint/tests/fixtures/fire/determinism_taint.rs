@@ -1,0 +1,34 @@
+// Must-fire corpus for `determinism-taint`: hash-map iteration results
+// flowing into catalog/serialization sinks — directly, through a
+// collected local, and through a function return — with no sort in
+// between. Findings anchor at the sink, where the fix belongs.
+
+use ts_storage::FastMap;
+
+fn leak_direct(m: &FastMap<u32, u32>, cat: &mut Catalog) {
+    for (k, _v) in m.iter() {
+        cat.add_pair(*k); //~ FIRE determinism-taint
+    }
+}
+
+fn leak_via_local(m: &FastMap<u32, u32>, cat: &mut Catalog) {
+    let keys: Vec<u32> = m.keys().copied().collect();
+    cat.insert_ints(&keys); //~ FIRE determinism-taint
+}
+
+fn hash_ordered_keys(m: &FastMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}
+
+fn leak_via_return(m: &FastMap<u32, u32>, cat: &mut Catalog) {
+    let ks = hash_ordered_keys(m);
+    cat.insert_ints(&ks); //~ FIRE determinism-taint
+}
+
+fn leak_via_accumulator(m: &FastMap<u32, u32>, cat: &mut Catalog) {
+    let mut acc = Vec::new();
+    for v in m.values() {
+        acc.push(*v);
+    }
+    cat.serialize(&acc); //~ FIRE determinism-taint
+}

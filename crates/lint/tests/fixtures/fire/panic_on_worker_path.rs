@@ -1,0 +1,29 @@
+// Must-fire corpus for `panic-on-worker-path`: panic sites reachable
+// transitively from the worker entry points. `off_path` panics too but
+// is unreachable, so it must NOT fire — reachability, not text search.
+
+fn worker_loop(jobs: &Queue) {
+    while let Some(job) = jobs.pop() {
+        dispatch(job);
+    }
+}
+
+fn dispatch(job: Job) {
+    let plan = job.plan.unwrap(); //~ FIRE panic-on-worker-path
+    run(plan);
+}
+
+fn run(plan: Plan) {
+    let first = plan.steps.first().expect("plan has steps"); //~ FIRE panic-on-worker-path
+    finish(first);
+}
+
+fn finish(step: &Step) {
+    if step.cost == 0 {
+        panic!("zero-cost step"); //~ FIRE panic-on-worker-path
+    }
+}
+
+fn off_path(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

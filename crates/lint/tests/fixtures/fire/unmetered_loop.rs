@@ -1,0 +1,55 @@
+// Must-fire corpus for `unmetered-loop`: loops in operator/driver
+// bodies that never reach a Work budget poll (tick/count_row) within
+// the default two call-graph hops.
+
+struct Row;
+
+impl Scan {
+    fn next(&mut self) -> Option<Row> {
+        loop { //~ FIRE unmetered-loop
+            if self.exhausted() {
+                return None;
+            }
+        }
+    }
+}
+
+fn collect_all(op: &mut Scan) -> Vec<Row> {
+    let mut out = Vec::new();
+    // `op.next()` ticks inside, but a pull stage never takes metering
+    // credit from the operators beneath it: the driver loop itself
+    // must poll, or a starving operator starves the driver too.
+    while let Some(r) = op.next() { //~ FIRE unmetered-loop
+        out.push(r);
+    }
+    out
+}
+
+fn next_batch(out: &mut Batch) -> bool {
+    for slot in out.slots() { //~ FIRE unmetered-loop
+        fill(slot);
+    }
+    true
+}
+
+fn fill(_slot: &mut Slot) {}
+
+fn distinct_topk(w: &Work) {
+    // The poll exists, but three hops down — past the default budget
+    // of two.
+    loop { //~ FIRE unmetered-loop
+        one_hop(w);
+    }
+}
+
+fn one_hop(w: &Work) {
+    two_hops(w);
+}
+
+fn two_hops(w: &Work) {
+    three_hops(w);
+}
+
+fn three_hops(w: &Work) {
+    w.tick(1);
+}

@@ -10,3 +10,13 @@ fn wrong_rule_for_the_line(m: Option<u32>) -> u32 {
     // lint: allow(narrowing-cast): there is no cast here, only an unwrap //~ FIRE unused-allow
     m.expect("suppressed by nothing") //~ FIRE unwrap-in-lib
 }
+
+fn stale_metering_allow(xs: &[u32]) -> usize {
+    // lint: allow(unmetered-loop): stale — the loop ticks every row now //~ FIRE unused-allow
+    xs.len()
+}
+
+fn stale_worker_path_allow(xs: &[u32]) -> usize {
+    // lint: allow(panic-on-worker-path): stale — converted to an error path //~ FIRE unused-allow
+    xs.len()
+}

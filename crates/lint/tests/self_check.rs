@@ -31,6 +31,9 @@ fn rules_for(stem: &str) -> Vec<&'static str> {
         "undocumented_unsafe" => vec!["undocumented-unsafe"],
         "bare_join_expect" => vec!["bare-join-expect"],
         "catch_unwind_audit" => vec!["catch-unwind-audit"],
+        "unmetered_loop" => vec!["unmetered-loop"],
+        "panic_on_worker_path" => vec!["panic-on-worker-path"],
+        "determinism_taint" => vec!["determinism-taint"],
         // Meta-rule fixtures: bad-allow needs no base rule at all;
         // unused-allow needs one active rule its second case can miss.
         "bad_allow" => vec![],

@@ -267,6 +267,9 @@ impl Server {
                         ts_exec::set_engine(engine);
                         worker_loop(&shared)
                     })
+                    // lint: allow(panic-on-worker-path): spawn fails only on
+                    // OS thread exhaustion at server construction, before
+                    // any query is accepted; aborting startup is correct
                     .expect("spawning a server worker thread")
             })
             .collect();

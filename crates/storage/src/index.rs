@@ -102,8 +102,6 @@ impl HashIndex {
 
     /// Iterate `(key, postings)` pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&Value, &[RowId])> {
-        // lint: allow(unordered-iter): documented arbitrary-order accessor;
-        // deterministic consumers (stats, heap_size) reduce order-insensitively
         self.map.iter().map(|(k, v)| (k, v.as_slice()))
     }
 }

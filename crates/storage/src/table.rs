@@ -100,8 +100,6 @@ impl Table {
             }
             pk_index.insert(key.clone(), id);
         }
-        // lint: allow(unordered-iter): each index is updated independently;
-        // visit order cannot reach any observable state
         for (&col, idx) in self.secondary.iter_mut() {
             idx.insert(row.get(col).clone(), id);
         }
@@ -141,8 +139,6 @@ impl Table {
             }
             pk_index.insert(key, id);
         }
-        // lint: allow(unordered-iter): each index is updated independently;
-        // visit order cannot reach any observable state
         for (&col, idx) in self.secondary.iter_mut() {
             idx.insert(Value::Int(vals[col]), id);
         }
